@@ -1,0 +1,205 @@
+// Benchmarks regenerating every experiment of the reproduction (one
+// testing.B target per experiment; see DESIGN.md §3 for the index and
+// EXPERIMENTS.md for paper-vs-measured results), plus micro-benchmarks
+// for the primitive operations.
+package eos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/eosdb/eos"
+	"github.com/eosdb/eos/internal/bench"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1AmapLocate(b *testing.B)              { runExperiment(b, "e1") }
+func BenchmarkE2AllocDirectoryIO(b *testing.B)        { runExperiment(b, "e2") }
+func BenchmarkE3Figure4(b *testing.B)                 { runExperiment(b, "e3") }
+func BenchmarkE4SearchFigure5Cost(b *testing.B)       { runExperiment(b, "e4") }
+func BenchmarkE5UtilizationVsT(b *testing.B)          { runExperiment(b, "e5") }
+func BenchmarkE6SeqReadAfterUpdates(b *testing.B)     { runExperiment(b, "e6") }
+func BenchmarkE7Comparison(b *testing.B)              { runExperiment(b, "e7") }
+func BenchmarkE8Fragmentation(b *testing.B)           { runExperiment(b, "e8") }
+func BenchmarkE9Superdirectory(b *testing.B)          { runExperiment(b, "e9") }
+func BenchmarkE10AdaptiveT(b *testing.B)              { runExperiment(b, "e10") }
+func BenchmarkE11AppendGrowth(b *testing.B)           { runExperiment(b, "e11") }
+func BenchmarkE12RecoveryOverhead(b *testing.B)       { runExperiment(b, "e12") }
+func BenchmarkE13UpdateCostVsObjectSize(b *testing.B) { runExperiment(b, "e13") }
+func BenchmarkE14ExodusLeafSizeTension(b *testing.B)  { runExperiment(b, "e14") }
+func BenchmarkE15Compaction(b *testing.B)             { runExperiment(b, "e15") }
+func BenchmarkE16ApplicationWorkloads(b *testing.B)   { runExperiment(b, "e16") }
+
+// ---- micro-benchmarks on the public API ----
+
+func benchStore(b *testing.B) *eos.Store {
+	b.Helper()
+	vol := disk.MustNewVolume(1024, 16384, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(1024, 4096, disk.DefaultCostModel())
+	s, err := eos.Format(vol, logVol, eos.Options{Threshold: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchObject(b *testing.B, s *eos.Store, size int) *eos.Object {
+	b.Helper()
+	o, err := s.Create(fmt.Sprintf("bench-%d", size), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := o.AppendWithHint(data, int64(size)); err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+func BenchmarkAppend4KB(b *testing.B) {
+	s := benchStore(b)
+	o, err := s.Create("append", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Size() > 8<<20 {
+			b.StopTimer()
+			if err := o.Truncate(0); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := o.Append(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialRead1MB(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(0, o.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomRead4KB(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 1<<20)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64((i * 137791) % (1<<20 - 4096))
+		if _, err := o.Read(off, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert1KBMiddle(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 1<<20)
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Size() > 8<<20 {
+			b.StopTimer()
+			if err := o.Truncate(1 << 20); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := o.Insert(o.Size()/2, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelete1KBMiddle(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 8<<20)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Size() < 1<<20 {
+			b.StopTimer()
+			data := make([]byte, 4<<20)
+			if err := o.Append(data); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := o.Delete(o.Size()/2, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplace4KB(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 1<<20)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64((i * 65537) % (1<<20 - 4096))
+		if err := o.Replace(off, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxnCommit(b *testing.B) {
+	s := benchStore(b)
+	o := benchObject(b, s, 1<<20)
+	_ = o
+	data := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := s.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Replace("bench-1048576", 1000, data); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 0 {
+			b.StopTimer()
+			if err := s.Checkpoint(); err != nil { // keep the log bounded
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package eos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// The catalog holds every object's descriptor — id, name, threshold,
+// growth state, root node, and the LSN of its last logged update.  EOS
+// proper leaves descriptor placement to the client (§4: a catalog page,
+// or a field of a small record to implement long fields); the Store keeps
+// them on a small run of reserved pages after the header.
+//
+// Layout: magic u32, count u32, then per entry
+// id u64, nameLen u16, name, descLen u32, descriptor bytes.
+
+const catalogMagic = 0xE05CA7A1
+
+// writeCatalog serializes every descriptor to the catalog pages.  Caller
+// holds s.mu.
+func (s *Store) writeCatalog() error {
+	names := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	buf := make([]byte, 8, 256)
+	binary.BigEndian.PutUint32(buf[0:], catalogMagic)
+	count := 0
+	for _, n := range names {
+		e := s.catalog[n]
+		var desc []byte
+		if e.txnDirty != 0 {
+			// In-flight transaction: persist only the last committed
+			// state.  A never-committed object is simply omitted.
+			if e.stableDesc == nil {
+				continue
+			}
+			desc = e.stableDesc
+		} else {
+			desc = e.obj.EncodeDescriptor()
+			e.stableDesc = desc
+		}
+		var hdr [14]byte
+		binary.BigEndian.PutUint64(hdr[0:], e.id)
+		binary.BigEndian.PutUint16(hdr[8:], uint16(len(n)))
+		binary.BigEndian.PutUint32(hdr[10:], uint32(len(desc)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, n...)
+		buf = append(buf, desc...)
+		count++
+	}
+	binary.BigEndian.PutUint32(buf[4:], uint32(count))
+	ps := s.vol.PageSize()
+	if len(buf) > s.opts.CatalogPages*ps {
+		return fmt.Errorf("%w: catalog needs %d bytes, %d pages reserved",
+			ErrCorruptStore, len(buf), s.opts.CatalogPages)
+	}
+	for p := 0; p < s.opts.CatalogPages; p++ {
+		img, err := s.pool.FixNew(disk.PageNum(1 + p))
+		if err != nil {
+			return err
+		}
+		lo := p * ps
+		if lo < len(buf) {
+			hi := lo + ps
+			if hi > len(buf) {
+				hi = len(buf)
+			}
+			copy(img, buf[lo:hi])
+		}
+		s.pool.Unpin(disk.PageNum(1 + p))
+	}
+	return nil
+}
+
+// readCatalog loads every descriptor from the catalog pages.  Caller
+// holds no locks (called during Open).
+func (s *Store) readCatalog() error {
+	ps := s.vol.PageSize()
+	buf := make([]byte, 0, s.opts.CatalogPages*ps)
+	for p := 0; p < s.opts.CatalogPages; p++ {
+		img, err := s.pool.Fix(disk.PageNum(1 + p))
+		if err != nil {
+			return err
+		}
+		buf = append(buf, img...)
+		s.pool.Unpin(disk.PageNum(1 + p))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != catalogMagic {
+		return fmt.Errorf("%w: bad catalog magic", ErrCorruptStore)
+	}
+	count := int(binary.BigEndian.Uint32(buf[4:]))
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+14 > len(buf) {
+			return fmt.Errorf("%w: truncated catalog", ErrCorruptStore)
+		}
+		id := binary.BigEndian.Uint64(buf[off:])
+		nameLen := int(binary.BigEndian.Uint16(buf[off+8:]))
+		descLen := int(binary.BigEndian.Uint32(buf[off+10:]))
+		off += 14
+		if off+nameLen+descLen > len(buf) {
+			return fmt.Errorf("%w: truncated catalog entry", ErrCorruptStore)
+		}
+		name := string(buf[off : off+nameLen])
+		off += nameLen
+		desc := append([]byte{}, buf[off:off+descLen]...)
+		obj, err := s.lm.OpenDescriptor(desc)
+		if err != nil {
+			return fmt.Errorf("object %q: %w", name, err)
+		}
+		off += descLen
+		e := &catEntry{id: id, name: name, obj: obj, stableDesc: desc}
+		s.catalog[name] = e
+		s.byID[id] = e
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+// Command eosctl manages EOS stores persisted as volume-image files.
+//
+// Usage:
+//
+//	eosctl -store dir init [-pages N] [-pagesize N] [-threshold T]
+//	eosctl -store dir ls
+//	eosctl -store dir put <object>            # bytes from stdin
+//	eosctl -store dir get <object>            # bytes to stdout
+//	eosctl -store dir append <object>         # bytes from stdin
+//	eosctl -store dir insert <object> <off>   # bytes from stdin
+//	eosctl -store dir delete <object> <off> <n>
+//	eosctl -store dir rm <object>
+//	eosctl -store dir cp <src> <dst>
+//	eosctl -store dir compact <object>
+//	eosctl -store dir stat [object]
+//	eosctl -store dir dump <object>           # physical segment map
+//	eosctl -store dir fsck
+//
+// The store directory holds data.img and log.img.  Every command loads
+// the images, performs the operation inside a transaction, checkpoints,
+// and saves the images back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/eosdb/eos"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "store directory (holds data.img and log.img)")
+	pages := flag.Int("pages", 65536, "init: data volume size in pages")
+	pageSize := flag.Int("pagesize", 4096, "init: page size in bytes")
+	threshold := flag.Int("threshold", 8, "init: default segment size threshold T")
+	flag.Parse()
+
+	if *storeDir == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	if err := run(*storeDir, cmd, args, *pages, *pageSize, *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "eosctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func dataPath(dir string) string { return filepath.Join(dir, "data.img") }
+func logPath(dir string) string  { return filepath.Join(dir, "log.img") }
+
+func load(dir string) (*eos.Store, *disk.Volume, *disk.Volume, error) {
+	vol, err := disk.LoadVolume(dataPath(dir), disk.DefaultCostModel())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	logVol, err := disk.LoadVolume(logPath(dir), disk.DefaultCostModel())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := eos.Open(vol, logVol, eos.Options{})
+	return s, vol, logVol, err
+}
+
+func save(dir string, s *eos.Store, vol, logVol *disk.Volume) error {
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	if err := vol.SaveFile(dataPath(dir)); err != nil {
+		return err
+	}
+	return logVol.SaveFile(logPath(dir))
+}
+
+func run(dir, cmd string, args []string, pages, pageSize, threshold int) error {
+	if cmd == "init" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		vol, err := disk.NewVolume(pageSize, disk.PageNum(pages), disk.DefaultCostModel())
+		if err != nil {
+			return err
+		}
+		logVol, err := disk.NewVolume(pageSize, disk.PageNum(pages/8+64), disk.DefaultCostModel())
+		if err != nil {
+			return err
+		}
+		s, err := eos.Format(vol, logVol, eos.Options{Threshold: threshold})
+		if err != nil {
+			return err
+		}
+		if err := save(dir, s, vol, logVol); err != nil {
+			return err
+		}
+		free, _ := s.FreePages()
+		fmt.Printf("initialized store: %d pages of %d bytes, %d free data pages\n", pages, pageSize, free)
+		return nil
+	}
+
+	s, vol, logVol, err := load(dir)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "ls":
+		for _, name := range s.List() {
+			o, err := s.Open(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-30s %12d bytes\n", name, o.Size())
+		}
+		return nil
+
+	case "put":
+		name, err := oneArg(args, "put <object>")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		o, err := s.Create(name, 0)
+		if err != nil {
+			return err
+		}
+		if err := o.AppendWithHint(data, int64(len(data))); err != nil {
+			return err
+		}
+		fmt.Printf("stored %q: %d bytes\n", name, len(data))
+		return save(dir, s, vol, logVol)
+
+	case "get":
+		name, err := oneArg(args, "get <object>")
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(name)
+		if err != nil {
+			return err
+		}
+		data, err := o.Read(0, o.Size())
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+
+	case "append":
+		name, err := oneArg(args, "append <object>")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(name)
+		if err != nil {
+			return err
+		}
+		if err := o.Append(data); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d bytes to %q (now %d)\n", len(data), name, o.Size())
+		return save(dir, s, vol, logVol)
+
+	case "insert":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: insert <object> <offset>")
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(args[0])
+		if err != nil {
+			return err
+		}
+		if err := o.Insert(off, data); err != nil {
+			return err
+		}
+		fmt.Printf("inserted %d bytes at %d of %q (now %d)\n", len(data), off, args[0], o.Size())
+		return save(dir, s, vol, logVol)
+
+	case "delete":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: delete <object> <offset> <n>")
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(args[0])
+		if err != nil {
+			return err
+		}
+		if err := o.Delete(off, n); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %d bytes at %d of %q (now %d)\n", n, off, args[0], o.Size())
+		return save(dir, s, vol, logVol)
+
+	case "rm":
+		name, err := oneArg(args, "rm <object>")
+		if err != nil {
+			return err
+		}
+		if err := s.Destroy(name); err != nil {
+			return err
+		}
+		fmt.Printf("destroyed %q\n", name)
+		return save(dir, s, vol, logVol)
+
+	case "stat":
+		if len(args) == 1 {
+			o, err := s.Open(args[0])
+			if err != nil {
+				return err
+			}
+			u, err := o.Usage()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("object %q\n", args[0])
+			fmt.Printf("  size:          %d bytes\n", u.DataBytes)
+			fmt.Printf("  segments:      %d (min %d, max %d pages)\n", u.SegmentCount, u.MinSegmentPgs, u.MaxSegmentPgs)
+			fmt.Printf("  data pages:    %d\n", u.SegmentPages)
+			fmt.Printf("  index pages:   %d (tree height %d)\n", u.IndexPages, u.TreeHeight)
+			fmt.Printf("  utilization:   %.1f%%\n", u.Utilization(s.PageSize())*100)
+			fmt.Printf("  threshold T:   %d pages\n", o.Threshold())
+			return nil
+		}
+		free, err := s.FreePages()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("store: page size %d, %d objects, %d free data pages, log %d bytes\n",
+			s.PageSize(), len(s.List()), free, s.LogTail())
+		return nil
+
+	case "cp":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: cp <src> <dst>")
+		}
+		if err := s.CopyObject(args[0], args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("copied %q to %q\n", args[0], args[1])
+		return save(dir, s, vol, logVol)
+
+	case "compact":
+		name, err := oneArg(args, "compact <object>")
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(name)
+		if err != nil {
+			return err
+		}
+		before, err := o.Usage()
+		if err != nil {
+			return err
+		}
+		if err := o.Compact(); err != nil {
+			return err
+		}
+		after, err := o.Usage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %q: %d -> %d segments, %d -> %d index pages\n",
+			name, before.SegmentCount, after.SegmentCount, before.IndexPages, after.IndexPages)
+		return save(dir, s, vol, logVol)
+
+	case "dump":
+		name, err := oneArg(args, "dump <object>")
+		if err != nil {
+			return err
+		}
+		o, err := s.Open(name)
+		if err != nil {
+			return err
+		}
+		segs, err := o.Segments()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("object %q: %d bytes in %d segments (page size %d)\n",
+			name, o.Size(), len(segs), s.PageSize())
+		fmt.Printf("  %-4s %12s %10s %12s %7s %s\n", "#", "logical off", "bytes", "start page", "pages", "fill")
+		for i, sg := range segs {
+			fill := float64(sg.Bytes) / (float64(sg.Pages) * float64(s.PageSize()))
+			fmt.Printf("  %-4d %12d %10d %12d %7d %.1f%%\n",
+				i, sg.LogicalOff, sg.Bytes, sg.StartPage, sg.Pages, fill*100)
+		}
+		return nil
+
+	case "fsck":
+		if err := s.Check(); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		if err := s.CheckNoLeaks(); err != nil {
+			return fmt.Errorf("leak check failed: %w", err)
+		}
+		fmt.Println("buddy directories, object trees, page accounting: OK")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func oneArg(args []string, usage string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: %s", usage)
+	}
+	return args[0], nil
+}

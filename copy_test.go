@@ -1,0 +1,72 @@
+package eos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCopyObject(t *testing.T) {
+	s, _, _ := newStore(t, Options{})
+	src, _ := s.Create("src", 16)
+	data := pat(77, 120000)
+	if err := src.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	// Fragment the source so the copy's layout demonstrably improves.
+	for i := 0; i < 10; i++ {
+		if err := src.Insert(int64(i*9000), pat(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := src.Read(0, src.Size())
+
+	if err := s.CopyObject("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := s.Open("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Read(0, dst.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("copy content mismatch")
+	}
+	if dst.Threshold() != src.Threshold() {
+		t.Errorf("threshold not inherited: %d vs %d", dst.Threshold(), src.Threshold())
+	}
+	us, _ := src.Usage()
+	ud, _ := dst.Usage()
+	if ud.SegmentCount > us.SegmentCount {
+		t.Errorf("copy more fragmented than source: %d vs %d segments", ud.SegmentCount, us.SegmentCount)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Errors.
+	if err := s.CopyObject("missing", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("copy of missing source: %v", err)
+	}
+	if err := s.CopyObject("src", "dst"); !errors.Is(err, ErrExists) {
+		t.Errorf("copy onto existing destination: %v", err)
+	}
+}
+
+func TestCopyEmptyObject(t *testing.T) {
+	s, _, _ := newStore(t, Options{})
+	s.Create("empty", 0)
+	if err := s.CopyObject("empty", "empty2"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Open("empty2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 0 {
+		t.Errorf("size = %d", o.Size())
+	}
+}

@@ -1,0 +1,663 @@
+// Package eos is a storage system for large dynamic objects, a Go
+// reproduction of the EOS large object manager (A. Biliris, "An Efficient
+// Database Storage Structure for Large Dynamic Objects", ICDE 1992).
+//
+// A Store keeps named large objects — uninterpreted byte strings of
+// unlimited size — on a simulated disk volume.  Objects are stored in
+// variable-size segments of physically contiguous pages allocated by a
+// binary buddy system whose entire bookkeeping lives on one directory
+// page per space; a positional B-tree indexes byte offsets.  The store
+// supports the paper's full operation set with costs proportional to the
+// bytes touched:
+//
+//	obj.Append(data)          // grows by doubling, trimmed at the end
+//	obj.Read(off, n)          // multi-page contiguous transfers
+//	obj.Replace(off, data)    // in place, logged
+//	obj.Insert(off, data)     // splits a segment into L, N, R
+//	obj.Delete(off, n)        // subtree deletes never touch data pages
+//
+// The segment size threshold T (§4.4) bounds fragmentation from repeated
+// updates; byte and page reshuffling keep storage utilization near 100%.
+//
+// Transactions (Store.Begin) provide object and byte-range locking,
+// write-ahead logging, shadowed index pages, deferred frees (the effect
+// of Starburst's release locks), logical undo on abort, and redo recovery
+// on reopen after a crash (§4.5).
+package eos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+	"github.com/eosdb/eos/internal/lob"
+	"github.com/eosdb/eos/internal/txn"
+	"github.com/eosdb/eos/internal/wal"
+)
+
+// Errors returned by the store.
+var (
+	// ErrExists is returned when creating an object whose name is taken.
+	ErrExists = errors.New("eos: object already exists")
+	// ErrNotFound is returned for unknown object names.
+	ErrNotFound = errors.New("eos: object not found")
+	// ErrCorruptStore is returned when the store header or catalog fails
+	// validation.
+	ErrCorruptStore = errors.New("eos: corrupt store")
+	// ErrTxnDone is returned when a finished transaction is reused.
+	ErrTxnDone = errors.New("eos: transaction already committed or aborted")
+)
+
+const (
+	storeMagic   = 0xE0557011
+	storeVersion = 1
+)
+
+// Options configures a Store.  The zero value selects reasonable
+// defaults for the volume's geometry.
+type Options struct {
+	// NumSpaces and SpaceCapacity lay out the buddy spaces; zero values
+	// size them to fill the volume (capacity defaults to the maximum a
+	// one-page directory supports, shrunk to fit).
+	NumSpaces     int
+	SpaceCapacity int
+	// PoolFrames sizes the buffer pool (default 256).
+	PoolFrames int
+	// Threshold is the default segment size threshold T in pages
+	// (default 8); objects may override it individually.
+	Threshold int
+	// AdaptiveThreshold enables the [Bili91a] fan-out-driven T.
+	AdaptiveThreshold bool
+	// Superdirectory enables the in-memory buddy superdirectory (§3.3);
+	// on by default (disable only for the ablation experiment).
+	DisableSuperdirectory bool
+	// ShadowIndexPages makes insert/delete/append updates shadow the
+	// index pages they touch (§4.5); on by default, required for
+	// transactional use.
+	DisableShadowing bool
+	// CatalogPages reserves room for object descriptors (default 4).
+	CatalogPages int
+	// LockTimeout bounds lock waits (default 2s).
+	LockTimeout time.Duration
+	// MaxRootEntries bounds the root held in each descriptor.
+	MaxRootEntries int
+	// RangeLocking selects the finer §4.5 granularity: instead of
+	// locking the object root, transactional reads lock the byte range
+	// they touch (shared), replace locks its range exclusively, and the
+	// length-changing operations — insert, delete, append — lock the
+	// suffix from their offset (every byte after it shifts).  Disjoint
+	// reads and replaces on one object then run concurrently; a short
+	// per-object latch keeps index traversals physically safe.
+	RangeLocking bool
+}
+
+func (o Options) withDefaults(vol *disk.Volume) (Options, error) {
+	if o.PoolFrames == 0 {
+		o.PoolFrames = 256
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 8
+	}
+	if o.CatalogPages == 0 {
+		o.CatalogPages = 4
+	}
+	if o.LockTimeout == 0 {
+		o.LockTimeout = 2 * time.Second
+	}
+	_, maxCap, err := buddy.Layout(vol.PageSize())
+	if err != nil {
+		return o, err
+	}
+	avail := int(vol.NumPages()) - 1 - o.CatalogPages
+	if o.SpaceCapacity == 0 {
+		o.SpaceCapacity = maxCap
+		if o.SpaceCapacity > avail-1 {
+			o.SpaceCapacity = (avail - 1) &^ 3
+		}
+	}
+	if o.NumSpaces == 0 {
+		o.NumSpaces = avail / (o.SpaceCapacity + 1)
+		if o.NumSpaces < 1 {
+			o.NumSpaces = 1
+		}
+	}
+	if o.SpaceCapacity < 4 || o.NumSpaces*(o.SpaceCapacity+1) > avail {
+		return o, fmt.Errorf("eos: volume too small for %d spaces of %d pages",
+			o.NumSpaces, o.SpaceCapacity)
+	}
+	return o, nil
+}
+
+// catEntry is one live catalog entry.  While a transaction has the
+// object dirty, catalog writes use the last committed descriptor
+// (stableDesc) so that uncommitted structural state never becomes
+// durable; uncommitted in-place replaces can still reach the disk when
+// another transaction's commit forces the volume, which is why replace
+// records log their physical extents for recovery-time undo.
+type catEntry struct {
+	id         uint64
+	name       string
+	obj        *lob.Object
+	txnDirty   uint64 // id of the transaction holding it dirty, or 0
+	stableDesc []byte // last committed descriptor; nil = not yet durable
+
+	// latch serializes physical access to the object's in-memory root
+	// and index pages under range locking: structural updates write-
+	// latch, reads and in-place replaces read-latch.  Held only for the
+	// duration of one operation, never to transaction end (§3.3's
+	// short-duration lock).
+	latch sync.RWMutex
+}
+
+// Store is an EOS storage system instance over a data volume and a log
+// volume.
+type Store struct {
+	vol    *disk.Volume
+	logVol *disk.Volume
+	pool   *buffer.Pool
+	buddy  *buddy.Manager
+	lm     *lob.Manager
+	log    *wal.Log
+	locks  *txn.LockTable
+	opts   Options
+
+	mu       sync.Mutex
+	catalog  map[string]*catEntry
+	byID     map[uint64]*catEntry
+	nextID   uint64
+	nextTxn  uint64
+	liveTxns map[uint64]*Txn
+}
+
+// Format initializes a fresh store on vol, logging to logVol.
+func Format(vol, logVol *disk.Volume, opts Options) (*Store, error) {
+	opts, err := opts.withDefaults(vol)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buffer.NewPool(vol, opts.PoolFrames)
+	if err != nil {
+		return nil, err
+	}
+	firstSpacePage := disk.PageNum(1 + opts.CatalogPages)
+	bm, err := buddy.FormatVolume(pool, vol, firstSpacePage, opts.NumSpaces, opts.SpaceCapacity, !opts.DisableSuperdirectory)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		vol:      vol,
+		logVol:   logVol,
+		pool:     pool,
+		buddy:    bm,
+		log:      wal.New(logVol),
+		locks:    txn.NewLockTable(opts.LockTimeout),
+		opts:     opts,
+		catalog:  make(map[string]*catEntry),
+		byID:     make(map[uint64]*catEntry),
+		nextID:   1,
+		nextTxn:  1,
+		liveTxns: make(map[uint64]*Txn),
+	}
+	s.lm, err = lob.NewManager(vol, pool, bm, s.lobConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeHeader(); err != nil {
+		return nil, err
+	}
+	if err := s.writeCatalog(); err != nil {
+		return nil, err
+	}
+	if err := s.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) lobConfig() lob.Config {
+	return lob.Config{
+		Threshold:         s.opts.Threshold,
+		MaxRootEntries:    s.opts.MaxRootEntries,
+		ShadowIndexPages:  !s.opts.DisableShadowing,
+		AdaptiveThreshold: s.opts.AdaptiveThreshold,
+	}
+}
+
+// PageSize reports the data volume's page size.
+func (s *Store) PageSize() int { return s.vol.PageSize() }
+
+// Volume returns the data volume (for I/O statistics).
+func (s *Store) Volume() *disk.Volume { return s.vol }
+
+// BuddyManager exposes the space manager (for statistics and fsck).
+func (s *Store) BuddyManager() *buddy.Manager { return s.buddy }
+
+// LOBStats returns the large object manager's activity counters.
+func (s *Store) LOBStats() lob.Stats { return s.lm.Stats() }
+
+// writeHeader persists the store header on page 0.
+func (s *Store) writeHeader() error {
+	img, err := s.pool.FixNew(0)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(0)
+	binary.BigEndian.PutUint32(img[0:], storeMagic)
+	img[4] = storeVersion
+	binary.BigEndian.PutUint32(img[8:], uint32(s.opts.NumSpaces))
+	binary.BigEndian.PutUint32(img[12:], uint32(s.opts.SpaceCapacity))
+	binary.BigEndian.PutUint32(img[16:], uint32(s.opts.CatalogPages))
+	binary.BigEndian.PutUint64(img[20:], s.nextID)
+	return nil
+}
+
+// Open loads an existing store and performs crash recovery: the log is
+// scanned, committed operations whose effects were lost are redone
+// (guarded by the LSN each object root carries, §4.5), the free space
+// map is rebuilt from the pages reachable from the catalog, and a fresh
+// checkpoint is taken.
+func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
+	opts, err := opts.withDefaults(vol)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buffer.NewPool(vol, opts.PoolFrames)
+	if err != nil {
+		return nil, err
+	}
+	// Header.
+	img, err := pool.Fix(0)
+	if err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(img[0:]) != storeMagic || img[4] != storeVersion {
+		pool.Unpin(0)
+		return nil, fmt.Errorf("%w: bad header", ErrCorruptStore)
+	}
+	opts.NumSpaces = int(binary.BigEndian.Uint32(img[8:]))
+	opts.SpaceCapacity = int(binary.BigEndian.Uint32(img[12:]))
+	opts.CatalogPages = int(binary.BigEndian.Uint32(img[16:]))
+	nextID := binary.BigEndian.Uint64(img[20:])
+	pool.Unpin(0)
+
+	// Spaces.
+	bm := buddy.NewManager(pool, !opts.DisableSuperdirectory)
+	page := disk.PageNum(1 + opts.CatalogPages)
+	for i := 0; i < opts.NumSpaces; i++ {
+		sp, err := buddy.OpenSpace(pool, page)
+		if err != nil {
+			return nil, err
+		}
+		bm.AddSpace(sp)
+		page += disk.PageNum(opts.SpaceCapacity + 1)
+	}
+
+	s := &Store{
+		vol:      vol,
+		logVol:   logVol,
+		pool:     pool,
+		buddy:    bm,
+		locks:    txn.NewLockTable(opts.LockTimeout),
+		opts:     opts,
+		catalog:  make(map[string]*catEntry),
+		byID:     make(map[uint64]*catEntry),
+		nextID:   nextID,
+		nextTxn:  1,
+		liveTxns: make(map[uint64]*Txn),
+	}
+	s.lm, err = lob.NewManager(vol, pool, bm, s.lobConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.readCatalog(); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close checkpoints the store and rejects further transactions.  The
+// volumes can then be saved or discarded.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if len(s.liveTxns) > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("eos: %d transactions still live", len(s.liveTxns))
+	}
+	s.mu.Unlock()
+	return s.Checkpoint()
+}
+
+// Checkpoint makes the current state durable: descriptors are written to
+// the catalog, every dirty page is flushed and forced, and the log is
+// truncated.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	// The log can be truncated only at quiescence: live transactions'
+	// records (needed to undo their in-place writes, which the ForceAll
+	// below may make durable) must survive.  With transactions in flight
+	// this is a "soft" checkpoint: everything is durable, but the log
+	// keeps growing until a quiescent checkpoint.
+	resetLog := s.log != nil && len(s.liveTxns) == 0
+	if resetLog {
+		// LSNs are byte offsets into the log, so truncating it starts a
+		// new epoch in which every record outranks the fully-durable
+		// state this checkpoint writes.  Zero the LSN in every object
+		// root (before encoding the descriptors!) so the idempotence
+		// guard compares correctly in the new epoch.
+		for _, e := range s.catalog {
+			e.obj.SetLSN(0)
+		}
+	}
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.writeCatalog(); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	s.vol.ForceAll()
+	if resetLog {
+		if err := s.log.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create makes a new empty object; threshold <= 0 uses the store default.
+func (s *Store) Create(name string, threshold int) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.catalog[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	e := &catEntry{id: s.nextID, name: name, obj: s.lm.NewObject(threshold)}
+	s.nextID++
+	s.catalog[name] = e
+	s.byID[e.id] = e
+	return &Object{s: s, e: e}, nil
+}
+
+// Open returns a handle on an existing object.
+func (s *Store) Open(name string) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &Object{s: s, e: e}, nil
+}
+
+// Destroy removes an object, returning all its pages to the free space.
+func (s *Store) Destroy(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := e.obj.Destroy(); err != nil {
+		return err
+	}
+	delete(s.catalog, name)
+	delete(s.byID, e.id)
+	return nil
+}
+
+// CopyObject duplicates src's content into a new object named dst,
+// streaming in large chunks so memory stays bounded.  The copy is laid
+// out in maximal contiguous segments (like a hinted create).
+func (s *Store) CopyObject(src, dst string) error {
+	from, err := s.Open(src)
+	if err != nil {
+		return err
+	}
+	to, err := s.Create(dst, from.Threshold())
+	if err != nil {
+		return err
+	}
+	a := to.OpenAppender(from.Size())
+	if _, err := from.NewReader().WriteTo(a); err != nil {
+		s.Destroy(dst)
+		return err
+	}
+	if err := a.Close(); err != nil {
+		s.Destroy(dst)
+		return err
+	}
+	return nil
+}
+
+// Rename changes an object's name.  Persisted at the next checkpoint or
+// durable commit.
+func (s *Store) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.catalog[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	if _, ok := s.catalog[newName]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	if e.txnDirty != 0 {
+		return fmt.Errorf("eos: %q is in use by transaction %d", oldName, e.txnDirty)
+	}
+	delete(s.catalog, oldName)
+	e.name = newName
+	s.catalog[newName] = e
+	return nil
+}
+
+// Stats aggregates the store's activity counters across layers.
+type Stats struct {
+	Disk   disk.Stats
+	Pool   buffer.Stats
+	Buddy  buddy.ManagerStats
+	LOB    lob.Stats
+	LogLen int64
+}
+
+// Stats returns a snapshot of all layer statistics.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Disk:   s.vol.Stats(),
+		Pool:   s.pool.Stats(),
+		Buddy:  s.buddy.Stats(),
+		LOB:    s.lm.Stats(),
+		LogLen: s.log.Tail(),
+	}
+}
+
+// List returns the object names in lexical order.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FreePages reports the free data pages across all buddy spaces.
+func (s *Store) FreePages() (int, error) { return s.buddy.FreePages() }
+
+// LogTail reports the write-ahead log length in bytes (zero right after
+// a checkpoint).
+func (s *Store) LogTail() int64 { return s.log.Tail() }
+
+// Check validates the buddy directories and every object tree.
+func (s *Store) Check() error {
+	if err := s.buddy.Check(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.catalog {
+		if err := e.obj.Check(); err != nil {
+			return fmt.Errorf("object %q: %w", e.name, err)
+		}
+	}
+	return nil
+}
+
+// CheckNoLeaks verifies page accounting at quiescence: every data page
+// is either free or reachable from some object descriptor.  It is not
+// meaningful while transactions are in flight (deferred frees hold
+// pages that no descriptor references).
+func (s *Store) CheckNoLeaks() error {
+	s.mu.Lock()
+	reachable := 0
+	for _, e := range s.catalog {
+		runs, err := e.obj.ReachablePages()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		for _, r := range runs {
+			reachable += r.Pages
+		}
+	}
+	s.mu.Unlock()
+	free, err := s.buddy.FreePages()
+	if err != nil {
+		return err
+	}
+	total := s.opts.NumSpaces * s.opts.SpaceCapacity
+	if free+reachable != total {
+		return fmt.Errorf("%w: %d free + %d reachable != %d total data pages (%d leaked)",
+			ErrCorruptStore, free, reachable, total, total-free-reachable)
+	}
+	return nil
+}
+
+// Object is a handle on one named large object, offering the paper's
+// operation set directly (the prototype's non-transactional mode: "EOS
+// and the application run on a single process, with no support for
+// transactions").  For transactional access use Store.Begin.
+type Object struct {
+	s *Store
+	e *catEntry
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.e.name }
+
+// Size returns the object's length in bytes.
+func (o *Object) Size() int64 { return o.e.obj.Size() }
+
+// Append appends data at the end of the object (§4.1).
+func (o *Object) Append(data []byte) error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.Append(data)
+}
+
+// AppendWithHint appends data; a positive sizeHint (total expected bytes)
+// lets the manager allocate a segment just large enough (§4.1).
+func (o *Object) AppendWithHint(data []byte, sizeHint int64) error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.AppendWithHint(data, sizeHint)
+}
+
+// OpenAppender streams appends; Close trims the tail segment.  The
+// appender itself is single-user; other access is latched per write.
+func (o *Object) OpenAppender(sizeHint int64) *lob.Appender {
+	return o.e.obj.OpenAppender(sizeHint)
+}
+
+// Read returns n bytes starting at byte off (§4.2).
+func (o *Object) Read(off, n int64) ([]byte, error) {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.Read(off, n)
+}
+
+// ReadAt fills buf from byte off.
+func (o *Object) ReadAt(buf []byte, off int64) error {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.ReadAt(buf, off)
+}
+
+// Replace overwrites bytes in place (§4.2).  Replace never restructures
+// the index, so it shares the latch with readers.
+func (o *Object) Replace(off int64, data []byte) error {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.Replace(off, data)
+}
+
+// Insert inserts data at byte off (§4.3.1).
+func (o *Object) Insert(off int64, data []byte) error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.Insert(off, data)
+}
+
+// Delete removes n bytes starting at byte off (§4.3.2).
+func (o *Object) Delete(off, n int64) error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.Delete(off, n)
+}
+
+// Truncate shortens the object to newSize bytes.
+func (o *Object) Truncate(newSize int64) error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.Truncate(newSize)
+}
+
+// Compact rewrites the object into the fewest, largest contiguous
+// segments the free space allows, restoring sequential-scan performance
+// after heavy editing.
+func (o *Object) Compact() error {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	return o.e.obj.Compact()
+}
+
+// SetThreshold changes the object's segment size threshold T (§4.4).
+func (o *Object) SetThreshold(t int) {
+	o.e.latch.Lock()
+	defer o.e.latch.Unlock()
+	o.e.obj.SetThreshold(t)
+}
+
+// Threshold returns the object's T.
+func (o *Object) Threshold() int { return o.e.obj.Threshold() }
+
+// Usage reports the object's storage footprint.
+func (o *Object) Usage() (lob.UsageInfo, error) {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.Usage()
+}
+
+// Check validates the object's index structure.
+func (o *Object) Check() error {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.Check()
+}

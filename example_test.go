@@ -1,0 +1,70 @@
+package eos_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/eosdb/eos"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// ExampleStore shows the basic lifecycle: format a store, write a large
+// object with piece-wise operations, read it back.
+func ExampleStore() {
+	vol := disk.MustNewVolume(1024, 4096, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(1024, 512, disk.DefaultCostModel())
+	store, err := eos.Format(vol, logVol, eos.Options{Threshold: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj, _ := store.Create("greeting", 0)
+	obj.Append([]byte("hello world"))
+	obj.Insert(5, []byte(" large"))
+	obj.Replace(0, []byte("H"))
+	obj.Delete(int64(obj.Size()-6), 6) // drop " world"
+
+	data, _ := obj.Read(0, obj.Size())
+	fmt.Println(string(data))
+	// Output: Hello large
+}
+
+// ExampleTxn shows atomic multi-operation updates with rollback.
+func ExampleTxn() {
+	vol := disk.MustNewVolume(1024, 4096, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(1024, 512, disk.DefaultCostModel())
+	store, _ := eos.Format(vol, logVol, eos.Options{})
+	obj, _ := store.Create("account", 0)
+	obj.Append([]byte("balance: 100"))
+
+	tx, _ := store.Begin()
+	tx.Replace("account", 9, []byte("250"))
+	tx.Abort() // roll the edit back
+
+	tx2, _ := store.Begin()
+	tx2.Replace("account", 9, []byte("175"))
+	tx2.Commit()
+
+	data, _ := obj.Read(0, obj.Size())
+	fmt.Println(string(data))
+	// Output: balance: 175
+}
+
+// ExampleObject_OpenAppender streams an object in with unknown final
+// size; segments double and the tail is trimmed on Close (§4.1).
+func ExampleObject_OpenAppender() {
+	vol := disk.MustNewVolume(1024, 4096, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(1024, 512, disk.DefaultCostModel())
+	store, _ := eos.Format(vol, logVol, eos.Options{})
+	obj, _ := store.Create("stream", 0)
+
+	w := obj.OpenAppender(0)
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(w, "chunk-%d ", i)
+	}
+	w.Close()
+
+	data, _ := obj.Read(0, obj.Size())
+	fmt.Println(string(data))
+	// Output: chunk-0 chunk-1 chunk-2 chunk-3
+}

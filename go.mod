@@ -1,0 +1,3 @@
+module github.com/eosdb/eos
+
+go 1.22

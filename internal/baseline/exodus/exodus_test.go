@@ -1,0 +1,195 @@
+package exodus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func newObj(t testing.TB, pageSize, spaces, capacity, leafPages int) (*Object, *disk.Volume, *buddy.Manager) {
+	t.Helper()
+	vol := disk.MustNewVolume(pageSize, disk.PageNum(1+spaces*(capacity+1)), disk.DefaultCostModel())
+	pool := buffer.MustNewPool(vol, 64)
+	bm, err := buddy.FormatVolume(pool, vol, 1, spaces, capacity, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(vol, pool, bm, leafPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, vol, bm
+}
+
+func pattern(seed, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(seed*91 + i*5)
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	vol := disk.MustNewVolume(100, 64, disk.CostModel{})
+	pool := buffer.MustNewPool(vol, 8)
+	bm, _ := buddy.FormatVolume(pool, vol, 1, 1, 32, true)
+	if _, err := New(vol, pool, bm, 0); err == nil {
+		t.Error("leafPages 0 accepted")
+	}
+	if _, err := New(disk.MustNewVolume(32, 64, disk.CostModel{}), pool, bm, 1); err == nil {
+		t.Error("tiny page size accepted")
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	for _, leafPages := range []int{1, 2, 4} {
+		o, _, _ := newObj(t, 100, 8, 256, leafPages)
+		data := pattern(leafPages, 5000)
+		if err := o.Append(data); err != nil {
+			t.Fatalf("leaf=%d: %v", leafPages, err)
+		}
+		got, err := o.Read(0, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("leaf=%d: content mismatch", leafPages)
+		}
+	}
+}
+
+func TestLeafBlocksAlwaysFixedSize(t *testing.T) {
+	// The utilization/search tension of §2: every leaf occupies leafPages
+	// pages regardless of fill, so wasted space grows with the block
+	// size.
+	for _, leafPages := range []int{1, 4} {
+		o, _, _ := newObj(t, 100, 8, 256, leafPages)
+		rng := rand.New(rand.NewSource(4))
+		var model []byte
+		for i := 0; i < 30; i++ {
+			data := pattern(i, 1+rng.Intn(150))
+			off := int64(rng.Intn(len(model) + 1))
+			if err := o.Insert(off, data); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+		}
+		blocks, err := o.BlockCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dataPages, _, err := o.Usage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dataPages != blocks*leafPages {
+			t.Errorf("leaf=%d: %d pages for %d blocks, want %d", leafPages, dataPages, blocks, blocks*leafPages)
+		}
+		got, _ := o.Read(0, int64(len(model)))
+		if !bytes.Equal(got, model) {
+			t.Errorf("leaf=%d: content mismatch", leafPages)
+		}
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, leafPages := range []int{1, 3} {
+		o, _, bm := newObj(t, 100, 24, 256, leafPages)
+		base, _ := bm.FreePages()
+		var model []byte
+		rng := rand.New(rand.NewSource(int64(leafPages)))
+		for op := 0; op < 300; op++ {
+			switch k := rng.Intn(9); {
+			case k < 3 && len(model) < 40000:
+				data := pattern(op, 1+rng.Intn(400))
+				if err := o.Append(data); err != nil {
+					t.Fatalf("leaf=%d op %d append: %v", leafPages, op, err)
+				}
+				model = append(model, data...)
+			case k < 5 && len(model) < 40000:
+				data := pattern(op, 1+rng.Intn(300))
+				off := int64(rng.Intn(len(model) + 1))
+				if err := o.Insert(off, data); err != nil {
+					t.Fatalf("leaf=%d op %d insert(%d,%d): %v", leafPages, op, off, len(data), err)
+				}
+				model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+			case k < 7 && len(model) > 0:
+				n := int64(1 + rng.Intn(len(model)))
+				off := int64(rng.Intn(len(model) - int(n) + 1))
+				if err := o.Delete(off, n); err != nil {
+					t.Fatalf("leaf=%d op %d delete(%d,%d) size=%d: %v", leafPages, op, off, n, len(model), err)
+				}
+				model = append(model[:off:off], model[off+n:]...)
+			case k == 7 && len(model) > 0:
+				n := 1 + rng.Intn(minInt(len(model), 300))
+				off := int64(rng.Intn(len(model) - n + 1))
+				data := pattern(op, n)
+				if err := o.Replace(off, data); err != nil {
+					t.Fatalf("leaf=%d op %d replace: %v", leafPages, op, err)
+				}
+				copy(model[off:], data)
+			case len(model) > 0:
+				n := 1 + rng.Intn(len(model))
+				off := int64(rng.Intn(len(model) - n + 1))
+				got, err := o.Read(off, int64(n))
+				if err != nil {
+					t.Fatalf("leaf=%d op %d read: %v", leafPages, op, err)
+				}
+				if !bytes.Equal(got, model[off:off+int64(n)]) {
+					t.Fatalf("leaf=%d op %d: read mismatch", leafPages, op)
+				}
+			}
+			if o.Size() != int64(len(model)) {
+				t.Fatalf("leaf=%d op %d: size %d != %d", leafPages, op, o.Size(), len(model))
+			}
+			if op%40 == 0 && len(model) > 0 {
+				got, err := o.Read(0, int64(len(model)))
+				if err != nil || !bytes.Equal(got, model) {
+					t.Fatalf("leaf=%d op %d: full content mismatch (%v)", leafPages, op, err)
+				}
+				if err := o.Check(); err != nil {
+					t.Fatalf("leaf=%d op %d: %v", leafPages, op, err)
+				}
+			}
+		}
+		if len(model) > 0 {
+			got, _ := o.Read(0, int64(len(model)))
+			if !bytes.Equal(got, model) {
+				t.Fatalf("leaf=%d: final content mismatch", leafPages)
+			}
+		}
+		if err := o.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := bm.FreePages(); got != base {
+			t.Errorf("leaf=%d: free pages after destroy = %d, want %d", leafPages, got, base)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	o, _, _ := newObj(t, 100, 4, 256, 2)
+	if err := o.Append(pattern(1, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(200, 101); err == nil {
+		t.Error("overlong read accepted")
+	}
+	if err := o.Insert(301, []byte{1}); err == nil {
+		t.Error("insert past end accepted")
+	}
+	if err := o.Delete(0, 301); err == nil {
+		t.Error("overlong delete accepted")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,674 @@
+package exodus
+
+import (
+	"fmt"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// Read returns n bytes starting at off.
+func (o *Object) Read(off, n int64) ([]byte, error) {
+	if err := o.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, n)
+	var walk func(nd *node, off, n int64) error
+	walk = func(nd *node, off, n int64) error {
+		var cum int64
+		for _, e := range nd.entries {
+			if n == 0 {
+				return nil
+			}
+			start, end := cum, cum+e.bytes
+			cum = end
+			if off >= end {
+				continue
+			}
+			take := end - off
+			if take > n {
+				take = n
+			}
+			if nd.level == 1 {
+				data, err := o.readBlock(e)
+				if err != nil {
+					return err
+				}
+				out = append(out, data[off-start:off-start+take]...)
+			} else {
+				child, err := o.readNode(e.ptr)
+				if err != nil {
+					return err
+				}
+				if err := walk(child, off-start, take); err != nil {
+					return err
+				}
+			}
+			off += take
+			n -= take
+		}
+		return nil
+	}
+	if err := walk(o.root, off, n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replace overwrites bytes in place.
+func (o *Object) Replace(off int64, data []byte) error {
+	if err := o.checkRange(off, int64(len(data))); err != nil {
+		return err
+	}
+	pos := int64(0)
+	var walk func(nd *node, off, n int64) error
+	walk = func(nd *node, off, n int64) error {
+		var cum int64
+		for _, e := range nd.entries {
+			if n == 0 {
+				return nil
+			}
+			start, end := cum, cum+e.bytes
+			cum = end
+			if off >= end {
+				continue
+			}
+			take := end - off
+			if take > n {
+				take = n
+			}
+			if nd.level == 1 {
+				blk, err := o.readBlock(e)
+				if err != nil {
+					return err
+				}
+				copy(blk[off-start:], data[pos:pos+take])
+				if _, err := o.writeBlock(e.ptr, blk); err != nil {
+					return err
+				}
+				pos += take
+			} else {
+				child, err := o.readNode(e.ptr)
+				if err != nil {
+					return err
+				}
+				// The recursion advances pos itself.
+				if err := walk(child, off-start, take); err != nil {
+					return err
+				}
+			}
+			off += take
+			n -= take
+		}
+		return nil
+	}
+	return walk(o.root, off, int64(len(data)))
+}
+
+// Append appends data at the end.
+func (o *Object) Append(data []byte) error { return o.Insert(o.size, data) }
+
+// Insert inserts data at byte off: the target leaf block is read,
+// spliced in memory, and written back — splitting into balanced blocks
+// when it overflows, exactly as in B-trees.
+func (o *Object) Insert(off int64, data []byte) error {
+	if off < 0 || off > o.size {
+		return fmt.Errorf("%w: insert at %d of %d", ErrOutOfBounds, off, o.size)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if err := o.insertNode(o.root, off, data); err != nil {
+		return err
+	}
+	if err := o.normalizeRoot(); err != nil {
+		return err
+	}
+	o.size += int64(len(data))
+	return nil
+}
+
+// insertNode inserts into the subtree of nd (held in memory by the
+// caller) and leaves nd.entries updated, possibly beyond maxFanout; the
+// caller splits as needed.
+func (o *Object) insertNode(nd *node, off int64, data []byte) error {
+	if nd.level == 1 {
+		if len(nd.entries) == 0 {
+			parts := o.splitBytes(data)
+			for _, p := range parts {
+				e, err := o.writeBlock(0, p)
+				if err != nil {
+					return err
+				}
+				nd.entries = append(nd.entries, e)
+			}
+			return nil
+		}
+		i, start := nd.childIndex(off)
+		e := nd.entries[i]
+		blk, err := o.readBlock(e)
+		if err != nil {
+			return err
+		}
+		cut := off - start
+		merged := make([]byte, 0, int64(len(blk))+int64(len(data)))
+		merged = append(merged, blk[:cut]...)
+		merged = append(merged, data...)
+		merged = append(merged, blk[cut:]...)
+		if int64(len(merged)) <= o.leafCap() {
+			ne, err := o.writeBlock(e.ptr, merged)
+			if err != nil {
+				return err
+			}
+			nd.entries[i] = ne
+			return nil
+		}
+		parts := o.splitBytes(merged)
+		repl := make([]entry, 0, len(parts))
+		for k, p := range parts {
+			pg := disk.PageNum(0)
+			if k == 0 {
+				pg = e.ptr
+			}
+			ne, err := o.writeBlock(pg, p)
+			if err != nil {
+				return err
+			}
+			repl = append(repl, ne)
+		}
+		nd.splice(i, i+1, repl)
+		return nil
+	}
+
+	i, start := nd.childIndex(off)
+	child, err := o.readNode(nd.entries[i].ptr)
+	if err != nil {
+		return err
+	}
+	if err := o.insertNode(child, off-start, data); err != nil {
+		return err
+	}
+	repl, err := o.writeBackChild(nd.entries[i].ptr, child)
+	if err != nil {
+		return err
+	}
+	nd.splice(i, i+1, repl)
+	return nil
+}
+
+func (n *node) splice(i, j int, repl []entry) {
+	out := make([]entry, 0, len(n.entries)-(j-i)+len(repl))
+	out = append(out, n.entries[:i]...)
+	out = append(out, repl...)
+	out = append(out, n.entries[j:]...)
+	n.entries = out
+}
+
+// writeBackChild persists a child node, splitting on overflow or freeing
+// on emptiness.
+func (o *Object) writeBackChild(old disk.PageNum, child *node) ([]entry, error) {
+	if len(child.entries) == 0 {
+		if err := o.freeNodePage(old); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	max := o.maxFanout()
+	if len(child.entries) <= max {
+		p, err := o.writeNode(old, child)
+		if err != nil {
+			return nil, err
+		}
+		return []entry{{child.size(), p}}, nil
+	}
+	nParts := (len(child.entries) + max - 1) / max
+	base := len(child.entries) / nParts
+	extra := len(child.entries) % nParts
+	var out []entry
+	pos := 0
+	for k := 0; k < nParts; k++ {
+		n := base
+		if k < extra {
+			n++
+		}
+		part := &node{level: child.level, entries: child.entries[pos : pos+n]}
+		pos += n
+		pg := disk.PageNum(0)
+		if k == 0 {
+			pg = old
+		}
+		p, err := o.writeNode(pg, part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{part.size(), p})
+	}
+	return out, nil
+}
+
+// normalizeRoot keeps the root within one page and pulls up lone chains.
+func (o *Object) normalizeRoot() error {
+	max := o.maxFanout()
+	for len(o.root.entries) > max {
+		repl, err := o.writeBackChild(0, o.root)
+		if err != nil {
+			return err
+		}
+		o.root = &node{level: o.root.level + 1, entries: repl}
+	}
+	for o.root.level > 1 && len(o.root.entries) == 1 {
+		child, err := o.readNode(o.root.entries[0].ptr)
+		if err != nil {
+			return err
+		}
+		if err := o.freeNodePage(o.root.entries[0].ptr); err != nil {
+			return err
+		}
+		o.root = child
+	}
+	if len(o.root.entries) == 0 {
+		o.root = &node{level: 1}
+	}
+	return nil
+}
+
+// Delete removes n bytes starting at off.
+func (o *Object) Delete(off, n int64) error {
+	if err := o.checkRange(off, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if err := o.deleteNode(o.root, off, off+n); err != nil {
+		return err
+	}
+	if err := o.normalizeRoot(); err != nil {
+		return err
+	}
+	o.size -= n
+	return nil
+}
+
+// deleteNode removes [lo, hi) from nd's subtree, merging underfull leaf
+// blocks and index nodes with siblings.
+func (o *Object) deleteNode(nd *node, lo, hi int64) error {
+	if nd.level == 1 {
+		return o.deleteLeafRange(nd, lo, hi)
+	}
+	ci, ciStart := nd.childIndex(lo)
+	cj, cjStart := nd.childIndex(hi - 1)
+
+	// Free strictly interior children entirely.
+	for k := ci + 1; k < cj; k++ {
+		if err := o.freeSubtree(nd.entries[k], nd.level); err != nil {
+			return err
+		}
+	}
+	var newChildren []entry
+	if ci == cj {
+		child, err := o.readNode(nd.entries[ci].ptr)
+		if err != nil {
+			return err
+		}
+		if err := o.deleteNode(child, lo-ciStart, hi-ciStart); err != nil {
+			return err
+		}
+		newChildren, err = o.writeBackChild(nd.entries[ci].ptr, child)
+		if err != nil {
+			return err
+		}
+	} else {
+		lchild, err := o.readNode(nd.entries[ci].ptr)
+		if err != nil {
+			return err
+		}
+		leftEnd := ciStart + nd.entries[ci].bytes
+		if err := o.deleteNode(lchild, lo-ciStart, leftEnd-ciStart); err != nil {
+			return err
+		}
+		left, err := o.writeBackChild(nd.entries[ci].ptr, lchild)
+		if err != nil {
+			return err
+		}
+		rchild, err := o.readNode(nd.entries[cj].ptr)
+		if err != nil {
+			return err
+		}
+		if err := o.deleteNode(rchild, 0, hi-cjStart); err != nil {
+			return err
+		}
+		right, err := o.writeBackChild(nd.entries[cj].ptr, rchild)
+		if err != nil {
+			return err
+		}
+		newChildren = append(left, right...)
+	}
+	nd.splice(ci, cj+1, newChildren)
+
+	// Fix underfull boundary children.
+	for _, c := range newChildren {
+		idx := -1
+		for k, e := range nd.entries {
+			if e.ptr == c.ptr {
+				idx = k
+				break
+			}
+		}
+		if idx >= 0 {
+			if err := o.fixUnderflow(nd, idx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deleteLeafRange removes [lo, hi) from a leaf-parent: interior blocks
+// freed outright, boundary blocks rewritten, underfull boundaries merged.
+func (o *Object) deleteLeafRange(nd *node, lo, hi int64) error {
+	var out []entry
+	var cum int64
+	var boundary []int // indexes (in out) of rewritten blocks
+	for _, e := range nd.entries {
+		start, end := cum, cum+e.bytes
+		cum = end
+		if end <= lo || start >= hi {
+			out = append(out, e)
+			continue
+		}
+		if lo <= start && end <= hi {
+			if err := o.freeBlock(e.ptr); err != nil {
+				return err
+			}
+			continue
+		}
+		// Boundary block: keep the surviving bytes.
+		blk, err := o.readBlock(e)
+		if err != nil {
+			return err
+		}
+		var keep []byte
+		if start < lo {
+			keep = append(keep, blk[:lo-start]...)
+		}
+		if end > hi {
+			keep = append(keep, blk[max64(hi-start, 0):]...)
+		}
+		if len(keep) == 0 {
+			if err := o.freeBlock(e.ptr); err != nil {
+				return err
+			}
+			continue
+		}
+		ne, err := o.writeBlock(e.ptr, keep)
+		if err != nil {
+			return err
+		}
+		boundary = append(boundary, len(out))
+		out = append(out, ne)
+	}
+	nd.entries = out
+
+	// B-tree invariant: merge boundary blocks below half capacity with a
+	// neighbour.
+	for bi := len(boundary) - 1; bi >= 0; bi-- {
+		if err := o.fixLeafUnderflow(nd, boundary[bi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixLeafUnderflow merges or redistributes the leaf block at idx with a
+// neighbour when it is below half capacity.
+func (o *Object) fixLeafUnderflow(nd *node, idx int) error {
+	if idx >= len(nd.entries) || len(nd.entries) < 2 {
+		return nil
+	}
+	if nd.entries[idx].bytes*2 >= o.leafCap() {
+		return nil
+	}
+	sib := idx + 1
+	if idx > 0 {
+		sib = idx - 1
+	}
+	li, ri := idx, sib
+	if sib < idx {
+		li, ri = sib, idx
+	}
+	a, err := o.readBlock(nd.entries[li])
+	if err != nil {
+		return err
+	}
+	b, err := o.readBlock(nd.entries[ri])
+	if err != nil {
+		return err
+	}
+	merged := append(append([]byte{}, a...), b...)
+	if int64(len(merged)) <= o.leafCap() {
+		ne, err := o.writeBlock(nd.entries[li].ptr, merged)
+		if err != nil {
+			return err
+		}
+		if err := o.freeBlock(nd.entries[ri].ptr); err != nil {
+			return err
+		}
+		nd.splice(li, ri+1, []entry{ne})
+		return nil
+	}
+	parts := o.splitBytes(merged)
+	le, err := o.writeBlock(nd.entries[li].ptr, parts[0])
+	if err != nil {
+		return err
+	}
+	re, err := o.writeBlock(nd.entries[ri].ptr, parts[1])
+	if err != nil {
+		return err
+	}
+	nd.entries[li] = le
+	nd.entries[ri] = re
+	return nil
+}
+
+// fixUnderflow merges or redistributes an underfull index child.
+func (o *Object) fixUnderflow(nd *node, idx int) error {
+	child, err := o.readNode(nd.entries[idx].ptr)
+	if err != nil {
+		return err
+	}
+	if len(child.entries) >= o.minFanout() || len(nd.entries) < 2 {
+		return nil
+	}
+	sib := idx + 1
+	if idx > 0 {
+		sib = idx - 1
+	}
+	li, ri := idx, sib
+	if sib < idx {
+		li, ri = sib, idx
+	}
+	lnode, err := o.readNode(nd.entries[li].ptr)
+	if err != nil {
+		return err
+	}
+	rnode, err := o.readNode(nd.entries[ri].ptr)
+	if err != nil {
+		return err
+	}
+	merged := &node{level: lnode.level}
+	merged.entries = append(merged.entries, lnode.entries...)
+	junction := len(merged.entries)
+	merged.entries = append(merged.entries, rnode.entries...)
+	if merged.level > 1 {
+		for _, j := range []int{junction - 1, junction} {
+			if j >= 0 && j < len(merged.entries) {
+				if err := o.fixUnderflow(merged, j); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(merged.entries) <= o.maxFanout() {
+		p, err := o.writeNode(nd.entries[li].ptr, merged)
+		if err != nil {
+			return err
+		}
+		if err := o.freeNodePage(nd.entries[ri].ptr); err != nil {
+			return err
+		}
+		nd.splice(li, ri+1, []entry{{merged.size(), p}})
+		return nil
+	}
+	half := len(merged.entries) / 2
+	ln := &node{level: merged.level, entries: merged.entries[:half]}
+	rn := &node{level: merged.level, entries: merged.entries[half:]}
+	lp, err := o.writeNode(nd.entries[li].ptr, ln)
+	if err != nil {
+		return err
+	}
+	rp, err := o.writeNode(nd.entries[ri].ptr, rn)
+	if err != nil {
+		return err
+	}
+	nd.entries[li] = entry{ln.size(), lp}
+	nd.entries[ri] = entry{rn.size(), rp}
+	return nil
+}
+
+// freeSubtree releases every block and node below an entry.
+func (o *Object) freeSubtree(e entry, level int) error {
+	if level == 1 {
+		return o.freeBlock(e.ptr)
+	}
+	child, err := o.readNode(e.ptr)
+	if err != nil {
+		return err
+	}
+	for _, ce := range child.entries {
+		if err := o.freeSubtree(ce, child.level); err != nil {
+			return err
+		}
+	}
+	return o.freeNodePage(e.ptr)
+}
+
+// Destroy frees the whole object.
+func (o *Object) Destroy() error {
+	for _, e := range o.root.entries {
+		if err := o.freeSubtree(e, o.root.level); err != nil {
+			return err
+		}
+	}
+	o.root = &node{level: 1}
+	o.size = 0
+	return nil
+}
+
+// Usage reports data bytes, allocated data pages, and index pages.
+func (o *Object) Usage() (dataBytes int64, dataPages, indexPages int, err error) {
+	var walk func(nd *node) error
+	walk = func(nd *node) error {
+		for _, e := range nd.entries {
+			if nd.level == 1 {
+				dataPages += o.leafPages
+				continue
+			}
+			child, err := o.readNode(e.ptr)
+			if err != nil {
+				return err
+			}
+			indexPages++
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(o.root); err != nil {
+		return 0, 0, 0, err
+	}
+	return o.size, dataPages, indexPages, nil
+}
+
+// BlockCount reports the number of leaf blocks.
+func (o *Object) BlockCount() (int, error) {
+	count := 0
+	var walk func(nd *node) error
+	walk = func(nd *node) error {
+		for _, e := range nd.entries {
+			if nd.level == 1 {
+				count++
+				continue
+			}
+			child, err := o.readNode(e.ptr)
+			if err != nil {
+				return err
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return count, walk(o.root)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Check validates the tree: levels descend by one, counts match subtree
+// contents, leaf blocks fit the fixed capacity, and non-root index nodes
+// respect the occupancy floor.
+func (o *Object) Check() error {
+	var walk func(nd *node, isRoot bool) (int64, error)
+	walk = func(nd *node, isRoot bool) (int64, error) {
+		if !isRoot {
+			if len(nd.entries) < o.minFanout() || len(nd.entries) > o.maxFanout() {
+				return 0, fmt.Errorf("%w: node with %d entries (want %d..%d)",
+					ErrCorrupt, len(nd.entries), o.minFanout(), o.maxFanout())
+			}
+		}
+		var total int64
+		for _, e := range nd.entries {
+			if e.bytes <= 0 {
+				return 0, fmt.Errorf("%w: non-positive entry", ErrCorrupt)
+			}
+			if nd.level == 1 {
+				if e.bytes > o.leafCap() {
+					return 0, fmt.Errorf("%w: leaf block of %d bytes exceeds capacity %d",
+						ErrCorrupt, e.bytes, o.leafCap())
+				}
+				total += e.bytes
+				continue
+			}
+			child, err := o.readNode(e.ptr)
+			if err != nil {
+				return 0, err
+			}
+			if child.level != nd.level-1 {
+				return 0, fmt.Errorf("%w: level %d child under level %d", ErrCorrupt, child.level, nd.level)
+			}
+			sub, err := walk(child, false)
+			if err != nil {
+				return 0, err
+			}
+			if sub != e.bytes {
+				return 0, fmt.Errorf("%w: entry %d bytes, subtree %d", ErrCorrupt, e.bytes, sub)
+			}
+			total += e.bytes
+		}
+		return total, nil
+	}
+	total, err := walk(o.root, true)
+	if err != nil {
+		return err
+	}
+	if total != o.size {
+		return fmt.Errorf("%w: tree total %d != size %d", ErrCorrupt, total, o.size)
+	}
+	return nil
+}

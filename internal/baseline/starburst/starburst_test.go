@@ -1,0 +1,171 @@
+package starburst
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func newField(t testing.TB, pageSize, spaces, capacity int) (*LongField, *disk.Volume, *buddy.Manager) {
+	t.Helper()
+	vol := disk.MustNewVolume(pageSize, disk.PageNum(1+spaces*(capacity+1)), disk.DefaultCostModel())
+	pool := buffer.MustNewPool(vol, 32)
+	bm, err := buddy.FormatVolume(pool, vol, 1, spaces, capacity, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(vol, bm), vol, bm
+}
+
+func pattern(seed, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(seed*37 + i)
+	}
+	return out
+}
+
+func TestAppendDoublingAndTrim(t *testing.T) {
+	f, _, _ := newField(t, 100, 4, 256)
+	// Unknown size: doubling growth, trimmed tail.
+	if err := f.AppendWithHint(pattern(1, 1820), 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1820 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got, err := f.Read(0, 1820)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(1, 1820)) {
+		t.Error("content mismatch")
+	}
+	_, pages, _ := f.Usage()
+	if pages != 19 {
+		t.Errorf("data pages = %d, want 19 (trimmed)", pages)
+	}
+}
+
+func TestKnownSizeUsesMaxSegments(t *testing.T) {
+	f, _, _ := newField(t, 100, 4, 256)
+	data := pattern(2, 20000) // 200 pages; max segment is 128
+	if err := f.AppendWithHint(data, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if f.SegmentCount() != 2 {
+		t.Errorf("segments = %d, want 2 (max-size then remainder)", f.SegmentCount())
+	}
+	got, _ := f.Read(0, int64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestInsertCopiesTail(t *testing.T) {
+	// §2: Starburst inserts copy all segments right of the update point.
+	// The I/O for an insert near the start must scale with the object
+	// size.
+	var moved [2]int64
+	for i, objBytes := range []int{10000, 40000} {
+		f, vol, _ := newField(t, 100, 8, 256)
+		if err := f.AppendWithHint(pattern(3, objBytes), int64(objBytes)); err != nil {
+			t.Fatal(err)
+		}
+		vol.ResetStats()
+		if err := f.Insert(100, pattern(4, 50)); err != nil {
+			t.Fatal(err)
+		}
+		moved[i] = vol.Stats().PagesMoved()
+	}
+	if moved[1] < 3*moved[0] {
+		t.Errorf("insert I/O: %d pages for 10 KB vs %d for 40 KB; want ~4x scaling", moved[0], moved[1])
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	f, _, bm := newField(t, 100, 16, 256)
+	base, _ := bm.FreePages()
+	var model []byte
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 200; op++ {
+		switch k := rng.Intn(8); {
+		case k < 3 && len(model) < 30000:
+			data := pattern(op, 1+rng.Intn(400))
+			if err := f.Append(data); err != nil {
+				t.Fatalf("op %d append: %v", op, err)
+			}
+			model = append(model, data...)
+		case k < 5 && len(model) < 30000:
+			data := pattern(op, 1+rng.Intn(300))
+			off := int64(rng.Intn(len(model) + 1))
+			if err := f.Insert(off, data); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+		case k < 7 && len(model) > 0:
+			n := int64(1 + rng.Intn(len(model)))
+			off := int64(rng.Intn(len(model) - int(n) + 1))
+			if err := f.Delete(off, n); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			model = append(model[:off:off], model[off+n:]...)
+		case len(model) > 0:
+			n := 1 + rng.Intn(min(len(model), 500))
+			off := int64(rng.Intn(len(model) - n + 1))
+			data := pattern(op, n)
+			if err := f.Replace(off, data); err != nil {
+				t.Fatalf("op %d replace: %v", op, err)
+			}
+			copy(model[off:], data)
+		}
+		if f.Size() != int64(len(model)) {
+			t.Fatalf("op %d: size %d != %d", op, f.Size(), len(model))
+		}
+		if op%20 == 0 && len(model) > 0 {
+			got, err := f.Read(0, int64(len(model)))
+			if err != nil {
+				t.Fatalf("op %d read: %v", op, err)
+			}
+			if !bytes.Equal(got, model) {
+				t.Fatalf("op %d: content mismatch", op)
+			}
+		}
+	}
+	if err := f.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := bm.FreePages(); got != base {
+		t.Errorf("free pages after destroy = %d, want %d", got, base)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	f, _, _ := newField(t, 100, 2, 256)
+	if err := f.Append(pattern(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(50, 51); err == nil {
+		t.Error("overlong read accepted")
+	}
+	if err := f.Insert(101, []byte{1}); err == nil {
+		t.Error("insert past end accepted")
+	}
+	if err := f.Delete(90, 11); err == nil {
+		t.Error("overlong delete accepted")
+	}
+	if err := f.Replace(99, []byte{1, 2}); err == nil {
+		t.Error("overlong replace accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

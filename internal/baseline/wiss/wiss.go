@@ -1,0 +1,357 @@
+// Package wiss implements the Wisconsin Storage System's long data item
+// scheme (Chou, DeWitt, Katz & Klug 1985) as a comparison baseline.
+//
+// A long object is a sequence of slices, each at most one page, addressed
+// by a directory stored as a regular record that may grow to about the
+// size of a page.  With 4 KB pages the directory holds roughly 400
+// entries, bounding objects at about 1.6 MB — the object-size ceiling §2
+// of the EOS paper criticizes, alongside the loss of physical
+// sequentiality from page-at-a-time slice allocation.
+//
+// Slices are kept between half-full and full, B-tree style, so storage
+// utilization stays good while every slice touch costs a seek.
+package wiss
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eosdb/eos/internal/disk"
+	"github.com/eosdb/eos/internal/lob"
+)
+
+// Errors returned by the WiSS baseline.
+var (
+	// ErrOutOfBounds is returned for ranges outside the object.
+	ErrOutOfBounds = errors.New("wiss: byte range out of bounds")
+	// ErrTooLarge is returned when the slice directory would overflow its
+	// one-page budget — WiSS long items have a hard size ceiling.
+	ErrTooLarge = errors.New("wiss: object exceeds directory capacity")
+)
+
+// directory entry cost on the directory page: 2-byte length + 8-byte page
+// address, as in the original (address and size of each slice).
+const dirEntryBytes = 10
+
+// slice is one data page holding up to a page of object bytes.
+type slice struct {
+	page  disk.PageNum
+	bytes int
+}
+
+// Object is one WiSS long data item.
+type Object struct {
+	vol    *disk.Volume
+	alloc  lob.Allocator
+	slices []slice
+	size   int64
+}
+
+// New creates an empty long data item.
+func New(vol *disk.Volume, alloc lob.Allocator) *Object {
+	return &Object{vol: vol, alloc: alloc}
+}
+
+// MaxSlices reports the directory capacity for the volume's page size.
+func (o *Object) MaxSlices() int { return o.vol.PageSize() / dirEntryBytes }
+
+// MaxBytes reports the object size ceiling.
+func (o *Object) MaxBytes() int64 {
+	return int64(o.MaxSlices()) * int64(o.vol.PageSize())
+}
+
+// Size returns the object length in bytes.
+func (o *Object) Size() int64 { return o.size }
+
+// SliceCount reports the number of slices.
+func (o *Object) SliceCount() int { return len(o.slices) }
+
+func (o *Object) checkRange(off, n int64) error {
+	if off < 0 || n < 0 || off+n > o.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfBounds, off, off+n, o.size)
+	}
+	return nil
+}
+
+// locate returns the slice index containing byte off and the byte offset
+// where that slice starts; off == size maps past the last slice.
+func (o *Object) locate(off int64) (int, int64) {
+	var cum int64
+	for i := range o.slices {
+		if off < cum+int64(o.slices[i].bytes) {
+			return i, cum
+		}
+		cum += int64(o.slices[i].bytes)
+	}
+	return len(o.slices), cum
+}
+
+func (o *Object) readSlice(i int) ([]byte, error) {
+	buf := make([]byte, o.vol.PageSize())
+	if err := o.vol.ReadPages(o.slices[i].page, 1, buf); err != nil {
+		return nil, err
+	}
+	return buf[:o.slices[i].bytes], nil
+}
+
+func (o *Object) writeSlice(page disk.PageNum, data []byte) error {
+	buf := make([]byte, o.vol.PageSize())
+	copy(buf, data)
+	return o.vol.WritePages(page, 1, buf)
+}
+
+// Read returns n bytes from byte offset off.
+func (o *Object) Read(off, n int64) ([]byte, error) {
+	if err := o.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, n)
+	i, start := o.locate(off)
+	for int64(len(out)) < n && i < len(o.slices) {
+		data, err := o.readSlice(i)
+		if err != nil {
+			return nil, err
+		}
+		lo := off + int64(len(out)) - start
+		take := int64(len(data)) - lo
+		if take > n-int64(len(out)) {
+			take = n - int64(len(out))
+		}
+		out = append(out, data[lo:lo+take]...)
+		start += int64(len(data))
+		i++
+	}
+	return out, nil
+}
+
+// Replace overwrites bytes in place, slice by slice.
+func (o *Object) Replace(off int64, data []byte) error {
+	if err := o.checkRange(off, int64(len(data))); err != nil {
+		return err
+	}
+	i, start := o.locate(off)
+	pos := int64(0)
+	for pos < int64(len(data)) {
+		cur, err := o.readSlice(i)
+		if err != nil {
+			return err
+		}
+		lo := off + pos - start
+		take := int64(len(cur)) - lo
+		if take > int64(len(data))-pos {
+			take = int64(len(data)) - pos
+		}
+		copy(cur[lo:], data[pos:pos+take])
+		if err := o.writeSlice(o.slices[i].page, cur); err != nil {
+			return err
+		}
+		pos += take
+		start += int64(len(cur))
+		i++
+	}
+	return nil
+}
+
+// Append appends data at the end.
+func (o *Object) Append(data []byte) error {
+	return o.Insert(o.size, data)
+}
+
+// Insert inserts data at byte off, splitting slices as needed.
+func (o *Object) Insert(off int64, data []byte) error {
+	if off < 0 || off > o.size {
+		return fmt.Errorf("%w: insert at %d of %d", ErrOutOfBounds, off, o.size)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	ps := o.vol.PageSize()
+	i, start := o.locate(off)
+
+	// Collect the affected slice's bytes (if any) and splice in memory.
+	var merged []byte
+	if i < len(o.slices) {
+		cur, err := o.readSlice(i)
+		if err != nil {
+			return err
+		}
+		cut := off - start
+		merged = append(merged, cur[:cut]...)
+		merged = append(merged, data...)
+		merged = append(merged, cur[cut:]...)
+	} else if i > 0 && o.slices[i-1].bytes < ps {
+		// Appending: fill the last slice first.
+		i--
+		cur, err := o.readSlice(i)
+		if err != nil {
+			return err
+		}
+		merged = append(merged, cur...)
+		merged = append(merged, data...)
+	} else {
+		merged = data
+	}
+
+	// Rewrite slice i as ceil(len/ps) slices, each at least half full.
+	newSlices, err := o.layoutSlices(merged)
+	if err != nil {
+		return err
+	}
+	if len(o.slices)-boolInt(i < len(o.slices))+len(newSlices) > o.MaxSlices() {
+		// Free the fresh pages before failing.
+		for _, s := range newSlices {
+			o.alloc.Free(s.page, 1)
+		}
+		return fmt.Errorf("%w: %d slices (max %d)", ErrTooLarge, len(o.slices)+len(newSlices), o.MaxSlices())
+	}
+	if i < len(o.slices) {
+		if err := o.alloc.Free(o.slices[i].page, 1); err != nil {
+			return err
+		}
+		o.slices = append(o.slices[:i:i], append(newSlices, o.slices[i+1:]...)...)
+	} else {
+		o.slices = append(o.slices, newSlices...)
+	}
+	o.size += int64(len(data))
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// layoutSlices writes data into freshly allocated one-page slices,
+// distributing bytes so every slice is at least half full.
+func (o *Object) layoutSlices(data []byte) ([]slice, error) {
+	ps := o.vol.PageSize()
+	n := len(data)
+	count := (n + ps - 1) / ps
+	if count == 0 {
+		return nil, nil
+	}
+	base := n / count
+	extra := n % count
+	out := make([]slice, 0, count)
+	pos := 0
+	for k := 0; k < count; k++ {
+		sz := base
+		if k < extra {
+			sz++
+		}
+		pg, err := o.alloc.Alloc(1)
+		if err != nil {
+			for _, s := range out {
+				o.alloc.Free(s.page, 1)
+			}
+			return nil, err
+		}
+		if err := o.writeSlice(pg, data[pos:pos+sz]); err != nil {
+			return nil, err
+		}
+		out = append(out, slice{page: pg, bytes: sz})
+		pos += sz
+	}
+	return out, nil
+}
+
+// Delete removes n bytes starting at off.
+func (o *Object) Delete(off, n int64) error {
+	if err := o.checkRange(off, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	ps := o.vol.PageSize()
+	lo, hi := off, off+n
+
+	li, lstart := o.locate(lo)
+	// Gather surviving boundary bytes.
+	var keep []byte
+	lcur, err := o.readSlice(li)
+	if err != nil {
+		return err
+	}
+	keep = append(keep, lcur[:lo-lstart]...)
+
+	// Walk forward freeing covered slices.
+	i, start := li, lstart
+	for i < len(o.slices) && start < hi {
+		sl := o.slices[i]
+		end := start + int64(sl.bytes)
+		if end > hi {
+			cur, err := o.readSlice(i)
+			if err != nil {
+				return err
+			}
+			keep = append(keep, cur[hi-start:]...)
+		}
+		if err := o.alloc.Free(sl.page, 1); err != nil {
+			return err
+		}
+		start = end
+		i++
+	}
+	newSlices, err := o.layoutSlices(keep)
+	if err != nil {
+		return err
+	}
+	o.slices = append(o.slices[:li:li], append(newSlices, o.slices[i:]...)...)
+	o.size -= n
+
+	// Keep slices at least half full: merge a lone small boundary slice
+	// with a neighbour when possible.
+	o.rebalance(li, ps)
+	return nil
+}
+
+// rebalance merges the slice at index i (if underfull) with a neighbour.
+func (o *Object) rebalance(i, ps int) {
+	if i >= len(o.slices) || len(o.slices) < 2 {
+		return
+	}
+	if o.slices[i].bytes >= ps/2 {
+		return
+	}
+	j := i + 1
+	if j >= len(o.slices) {
+		j = i - 1
+		i, j = j, i
+	}
+	a, err := o.readSlice(i)
+	if err != nil {
+		return
+	}
+	b, err := o.readSlice(j)
+	if err != nil {
+		return
+	}
+	mergedBytes := append(append([]byte{}, a...), b...)
+	newSlices, err := o.layoutSlices(mergedBytes)
+	if err != nil {
+		return
+	}
+	o.alloc.Free(o.slices[i].page, 1)
+	o.alloc.Free(o.slices[j].page, 1)
+	o.slices = append(o.slices[:i:i], append(newSlices, o.slices[j+1:]...)...)
+}
+
+// Destroy frees every slice.
+func (o *Object) Destroy() error {
+	for _, s := range o.slices {
+		if err := o.alloc.Free(s.page, 1); err != nil {
+			return err
+		}
+	}
+	o.slices = nil
+	o.size = 0
+	return nil
+}
+
+// Usage reports data bytes, allocated data pages, and directory pages.
+func (o *Object) Usage() (dataBytes int64, dataPages, indexPages int) {
+	return o.size, len(o.slices), 1
+}

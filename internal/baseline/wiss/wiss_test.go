@@ -1,0 +1,177 @@
+package wiss
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func newObj(t testing.TB, pageSize, spaces, capacity int) (*Object, *disk.Volume, *buddy.Manager) {
+	t.Helper()
+	vol := disk.MustNewVolume(pageSize, disk.PageNum(1+spaces*(capacity+1)), disk.DefaultCostModel())
+	pool := buffer.MustNewPool(vol, 32)
+	bm, err := buddy.FormatVolume(pool, vol, 1, spaces, capacity, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(vol, bm), vol, bm
+}
+
+func pattern(seed, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(seed*53 + i*3)
+	}
+	return out
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	o, _, _ := newObj(t, 512, 4, 512)
+	data := pattern(1, 1234)
+	if err := o.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(0, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestDirectoryCapacityEnforced(t *testing.T) {
+	// §2: with one-page slices and a one-page directory, WiSS long items
+	// have a hard ceiling (~1.6 MB at 4 KB pages; proportionally less
+	// here).
+	o, _, _ := newObj(t, 100, 16, 256)
+	max := o.MaxBytes()
+	if max != int64(o.MaxSlices())*100 {
+		t.Fatalf("MaxBytes = %d", max)
+	}
+	if err := o.Append(pattern(2, int(max))); err != nil {
+		t.Fatalf("filling to capacity: %v", err)
+	}
+	if err := o.Append([]byte{1}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("append past ceiling: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSlicesAreHalfFull(t *testing.T) {
+	o, _, _ := newObj(t, 512, 8, 512)
+	rng := rand.New(rand.NewSource(1))
+	var model []byte
+	for i := 0; i < 40; i++ {
+		data := pattern(i, 1+rng.Intn(150))
+		off := int64(rng.Intn(len(model) + 1))
+		if err := o.Insert(off, data); err != nil {
+			t.Fatal(err)
+		}
+		model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+	}
+	got, _ := o.Read(0, int64(len(model)))
+	if !bytes.Equal(got, model) {
+		t.Fatal("content mismatch")
+	}
+	// Utilization: data bytes over allocated pages must exceed 50%.
+	dataBytes, pages, _ := o.Usage()
+	util := float64(dataBytes) / float64(pages*512)
+	if util < 0.5 {
+		t.Errorf("utilization %.2f < 0.5", util)
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	o, _, bm := newObj(t, 512, 8, 512)
+	base, _ := bm.FreePages()
+	var model []byte
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 250; op++ {
+		switch k := rng.Intn(8); {
+		case k < 3 && len(model) < 15000:
+			data := pattern(op, 1+rng.Intn(250))
+			off := int64(rng.Intn(len(model) + 1))
+			if err := o.Insert(off, data); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+		case k < 5 && len(model) > 0:
+			n := int64(1 + rng.Intn(len(model)))
+			off := int64(rng.Intn(len(model) - int(n) + 1))
+			if err := o.Delete(off, n); err != nil {
+				t.Fatalf("op %d delete(%d,%d): %v", op, off, n, err)
+			}
+			model = append(model[:off:off], model[off+n:]...)
+		case k < 6 && len(model) > 0:
+			n := 1 + rng.Intn(min(len(model), 300))
+			off := int64(rng.Intn(len(model) - n + 1))
+			data := pattern(op, n)
+			if err := o.Replace(off, data); err != nil {
+				t.Fatalf("op %d replace: %v", op, err)
+			}
+			copy(model[off:], data)
+		case len(model) > 0:
+			n := 1 + rng.Intn(len(model))
+			off := int64(rng.Intn(len(model) - n + 1))
+			got, err := o.Read(off, int64(n))
+			if err != nil {
+				t.Fatalf("op %d read: %v", op, err)
+			}
+			if !bytes.Equal(got, model[off:off+int64(n)]) {
+				t.Fatalf("op %d: read mismatch", op)
+			}
+		}
+		if o.Size() != int64(len(model)) {
+			t.Fatalf("op %d: size %d != %d", op, o.Size(), len(model))
+		}
+	}
+	if len(model) > 0 {
+		got, _ := o.Read(0, int64(len(model)))
+		if !bytes.Equal(got, model) {
+			t.Fatal("final content mismatch")
+		}
+	}
+	if err := o.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := bm.FreePages(); got != base {
+		t.Errorf("free pages after destroy = %d, want %d", got, base)
+	}
+}
+
+func TestScatteredSlicesCostSeeks(t *testing.T) {
+	// §2: consecutive byte ranges scatter over the volume, so sequential
+	// scans seek per slice.
+	o, vol, _ := newObj(t, 512, 8, 512)
+	var model []byte
+	// Interleaved inserts force slice splits and scatter.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		data := pattern(i, 120)
+		off := int64(rng.Intn(len(model) + 1))
+		if err := o.Insert(off, data); err != nil {
+			t.Fatal(err)
+		}
+		model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
+	}
+	vol.ResetStats()
+	if _, err := o.Read(0, o.Size()); err != nil {
+		t.Fatal(err)
+	}
+	s := vol.Stats()
+	if s.Seeks < int64(o.SliceCount())/2 {
+		t.Errorf("sequential read: %d seeks over %d slices; expected roughly one per slice", s.Seeks, o.SliceCount())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment end to end and renders
+// its table — the harness smoke test.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("empty rendering")
+			}
+			t.Log("\n" + buf.String())
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e5"); !ok {
+		t.Error("e5 not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus id found")
+	}
+}
+
+func cell(tab *Table, row, col int) string { return tab.Rows[row][col] }
+
+func atoiCell(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("cell %q not an int: %v", s, err)
+	}
+	return v
+}
+
+// TestE2ShapeOneDirectoryAccess checks the paper's headline allocator
+// claim on the produced table: one directory fix per alloc and per free,
+// one page read and one written, for every segment size.
+func TestE2ShapeOneDirectoryAccess(t *testing.T) {
+	tab, err := E2AllocDirectoryIO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.Rows {
+		if row[1] != "1" || row[2] != "1" || row[3] != "1" || row[4] != "1" || row[5] != "1" {
+			t.Errorf("row %d (%s pages): %v, want all 1s", i, row[0], row[1:])
+		}
+	}
+}
+
+// TestE1ShapeSkipScan checks that locating never probes anywhere near
+// one-per-map-byte.
+func TestE1ShapeSkipScan(t *testing.T) {
+	tab, err := E1AmapLocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(tab, 0, 4); got != "3" {
+		t.Errorf("Figure 3 locate probes = %s, want 3 (the paper's example)", got)
+	}
+	for i := 1; i < len(tab.Rows); i++ {
+		probes := atoiCell(t, cell(tab, i, 4))
+		naive := atoiCell(t, cell(tab, i, 5))
+		if probes >= naive {
+			t.Errorf("row %d: %d probes vs %d naive scans", i, probes, naive)
+		}
+	}
+}
+
+// TestE5ShapeUtilizationRises checks that measured utilization is
+// monotonically non-decreasing in T and crosses 90% by T=16.
+func TestE5ShapeUtilizationRises(t *testing.T) {
+	tab, err := E5UtilizationVsT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, row := range tab.Rows {
+		var v float64
+		if _, err := fmtSscan(row[2], &v); err != nil {
+			t.Fatalf("row %d util %q: %v", i, row[2], err)
+		}
+		if v+1e-9 < prev {
+			t.Errorf("utilization fell from %.1f to %.1f at T=%s", prev, v, row[0])
+		}
+		prev = v
+	}
+	if prev < 90 {
+		t.Errorf("utilization at T=64 = %.1f%%, want > 90%%", prev)
+	}
+}
+
+// TestE6ShapeSeeksDropWithT checks that after updates, larger T produces
+// fewer sequential-scan seeks.
+func TestE6ShapeSeeksDropWithT(t *testing.T) {
+	tab, err := E6SeqReadAfterUpdates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate updates=0 / updates=300 per T; compare the
+	// updates=300 rows for T=1 and T=64.
+	var t1, t64 int
+	for _, row := range tab.Rows {
+		if row[1] != "300" {
+			continue
+		}
+		switch row[0] {
+		case "1":
+			t1 = atoiCell(t, row[3])
+		case "64":
+			t64 = atoiCell(t, row[3])
+		}
+	}
+	if t64*2 >= t1 {
+		t.Errorf("T=64 seeks (%d) not clearly below T=1 seeks (%d)", t64, t1)
+	}
+}
+
+// TestE13ShapeStarburstLinear checks the crossover shape: EOS insert
+// cost stays flat while Starburst's grows with object size.
+func TestE13ShapeStarburstLinear(t *testing.T) {
+	tab, err := E13UpdateCostVsObjectSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[string]map[string]int{}
+	for _, row := range tab.Rows {
+		if cost[row[0]] == nil {
+			cost[row[0]] = map[string]int{}
+		}
+		cost[row[0]][row[1]] = atoiCell(t, row[2])
+	}
+	eosSmall, eosBig := cost["EOS (T=8)"]["64KB"], cost["EOS (T=8)"]["4MB"]
+	sbSmall, sbBig := cost["Starburst"]["64KB"], cost["Starburst"]["4MB"]
+	if eosBig > eosSmall*4 {
+		t.Errorf("EOS insert cost grew with object size: %d -> %d pages", eosSmall, eosBig)
+	}
+	if sbBig < sbSmall*16 {
+		t.Errorf("Starburst insert cost did not scale: %d -> %d pages", sbSmall, sbBig)
+	}
+	if sbBig < eosBig*50 {
+		t.Errorf("expected a large EOS advantage at 4MB: EOS %d vs Starburst %d", eosBig, sbBig)
+	}
+}
+
+// TestE14ShapeTension checks that no fixed EXODUS leaf size dominates
+// EOS on both scan seeks and utilization simultaneously.
+func TestE14ShapeTension(t *testing.T) {
+	tab, err := E14ExodusLeafSizeTension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eosSeeks int
+	var eosUtil float64
+	for _, row := range tab.Rows {
+		if row[0] == "EOS (T=8)" {
+			eosSeeks = atoiCell(t, row[2])
+			if _, err := fmtSscan(row[4], &eosUtil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "EXODUS" {
+			continue
+		}
+		seeks := atoiCell(t, row[2])
+		var util float64
+		if _, err := fmtSscan(row[4], &util); err != nil {
+			t.Fatal(err)
+		}
+		if seeks <= eosSeeks && util >= eosUtil {
+			t.Errorf("EXODUS leaf=%s dominates EOS (%d seeks @ %.1f%% vs %d @ %.1f%%)",
+				row[1], seeks, util, eosSeeks, eosUtil)
+		}
+	}
+}
+
+// TestE15ShapeCompactionRestores checks compaction brings the scan back
+// to (near) pristine cost.
+func TestE15ShapeCompactionRestores(t *testing.T) {
+	tab, err := E15Compaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := atoiCell(t, tab.Rows[0][3])
+	edited := atoiCell(t, tab.Rows[1][3])
+	compacted := atoiCell(t, tab.Rows[2][3])
+	if edited < pristine*10 {
+		t.Errorf("edit storm did not degrade the scan: %d -> %d seeks", pristine, edited)
+	}
+	if compacted > pristine+2 {
+		t.Errorf("compaction did not restore the scan: %d vs pristine %d", compacted, pristine)
+	}
+}
+
+// TestE16ShapeVideoEdit checks the headline E16 cell: Starburst pays an
+// order of magnitude more than EOS on the editing workload while tying
+// on the archive workload.
+func TestE16ShapeVideoEdit(t *testing.T) {
+	tab, err := E16ApplicationWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		cell := strings.TrimSuffix(row[2], "ms")
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			continue // skipped/size-capped rows
+		}
+		if times[row[0]] == nil {
+			times[row[0]] = map[string]float64{}
+		}
+		times[row[0]][row[1]] = v
+	}
+	if sb, e := times["video-edit"]["Starburst"], times["video-edit"]["EOS (T=8)"]; sb < e*10 {
+		t.Errorf("video-edit: Starburst %.0fms vs EOS %.0fms, want >= 10x", sb, e)
+	}
+	if sb, e := times["archive"]["Starburst"], times["archive"]["EOS (T=8)"]; sb < e*0.8 || sb > e*1.2 {
+		t.Errorf("archive: Starburst %.0fms vs EOS %.0fms, want parity", sb, e)
+	}
+}
+
+// fmtSscan parses a "93.4%" style cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+// TestWorkloadsDeterministic: every workload produces identical I/O on
+// identical fresh stacks, so benchmark results are reproducible.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, wl := range Workloads() {
+		var stats [2]string
+		for run := 0; run < 2; run++ {
+			st, err := NewStack(3, lobDefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := sysObj(eosObj{st.LM.NewObject(8)})
+			rng := rand.New(rand.NewSource(99))
+			if err := wl.Run(o, rng); err != nil {
+				t.Fatalf("%s: %v", wl.Name, err)
+			}
+			stats[run] = st.Vol.Stats().String()
+		}
+		if stats[0] != stats[1] {
+			t.Errorf("%s not deterministic:\n  %s\n  %s", wl.Name, stats[0], stats[1])
+		}
+	}
+}

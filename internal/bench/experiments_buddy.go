@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// newSpace formats a standalone buddy space for the allocator
+// experiments.
+func newSpace(pageSize, capacity int) (*buddy.Space, *disk.Volume, *buffer.Pool, error) {
+	vol, err := disk.NewVolume(pageSize, disk.PageNum(capacity+8), disk.DefaultCostModel())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pool, err := buffer.NewPool(vol, 8)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sp, err := buddy.FormatSpace(pool, 0, 1, capacity, vol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sp, vol, pool, nil
+}
+
+// E1AmapLocate reproduces Figures 2–3: the allocation map byte encoding
+// and the skip-scan that locates a free segment without checking every
+// byte of the map.
+func E1AmapLocate() (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "allocation map skip-scan (Fig 2-3)",
+		Claim:   "\"in order to locate a free segment of a given size, there is no need to check every single byte of the allocation map\" (§3.1)",
+		Headers: []string{"layout", "capacity(pages)", "map bytes", "locate size", "probes", "naive byte scans"},
+	}
+
+	// The exact Figure 3 layout: alloc 64@0; pages 65,66 allocated; 64,
+	// 67 free; free 4@68; free 8@72.
+	sp, _, _, err := newSpace(128, 128)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sp.Alloc(64); err != nil {
+		return nil, err
+	}
+	if _, err := sp.Alloc(16); err != nil {
+		return nil, err
+	}
+	base := sp.Base()
+	for _, f := range []struct{ p, n int }{{64, 1}, {67, 1}, {68, 4}, {72, 8}} {
+		if err := sp.Free(base+disk.PageNum(f.p), f.n); err != nil {
+			return nil, err
+		}
+	}
+	_, probes, err := sp.LocateFree(3) // the paper's "locate a free segment of size 8"
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Figure 3", "128", "32", "8", fmtI(int64(probes)), "32")
+
+	// A large fragmented space: random churn, then locate each size.
+	sp2, _, _, err := newSpace(4096, 16000)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	var live []struct {
+		p disk.PageNum
+		n int
+	}
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			n := 1 + rng.Intn(64)
+			p, err := sp2.Alloc(n)
+			if err != nil {
+				continue
+			}
+			live = append(live, struct {
+				p disk.PageNum
+				n int
+			}{p, n})
+		} else {
+			i := rng.Intn(len(live))
+			if err := sp2.Free(live[i].p, live[i].n); err != nil {
+				return nil, err
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	for _, sz := range []int{1, 8, 64, 512} {
+		typ := 0
+		for 1<<typ < sz {
+			typ++
+		}
+		_, probes, err := sp2.LocateFree(typ)
+		if err != nil {
+			continue // no free segment of that size right now
+		}
+		t.AddRow("random churn", "16000", "4000", fmt.Sprint(sz), fmtI(int64(probes)), "4000")
+	}
+	t.Notes = append(t.Notes, "probes = segments examined by the skip-scan S += max(n,m); a naive scan reads every map byte")
+	return t, nil
+}
+
+// E2AllocDirectoryIO verifies §3.3: allocation and deallocation are
+// served by examining the directory page only — one disk access
+// regardless of the segment size.
+func E2AllocDirectoryIO() (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "allocator I/O vs segment size (§3.3)",
+		Claim:   "\"at most one disk access is needed to serve block allocation (and deallocation) requests, regardless of the segment size\"",
+		Headers: []string{"segment pages", "alloc: dir fixes", "alloc: pages read", "alloc: pages written", "free: dir fixes", "free: pages written"},
+	}
+	for _, size := range []int{1, 7, 64, 512, 4096, 8192} {
+		sp, vol, pool, err := newSpace(4096, 16000)
+		if err != nil {
+			return nil, err
+		}
+		if err := pool.FlushAll(); err != nil {
+			return nil, err
+		}
+		pool.DiscardAll()
+		vol.ResetStats()
+		before := sp.Stats()
+		p, err := sp.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		if err := pool.FlushAll(); err != nil {
+			return nil, err
+		}
+		sa := vol.Stats()
+		da := sp.Stats().DirAccesses - before.DirAccesses
+
+		pool.DiscardAll()
+		vol.ResetStats()
+		before = sp.Stats()
+		if err := sp.Free(p, size); err != nil {
+			return nil, err
+		}
+		if err := pool.FlushAll(); err != nil {
+			return nil, err
+		}
+		sf := vol.Stats()
+		df := sp.Stats().DirAccesses - before.DirAccesses
+		t.AddRow(fmt.Sprint(size), fmtI(da), fmtI(sa.PagesRead), fmtI(sa.PagesWritten), fmtI(df), fmtI(sf.PagesWritten))
+	}
+	t.Notes = append(t.Notes, "dir fixes = directory page accesses; data pages are never touched by the allocator")
+	return t, nil
+}
+
+// E3Figure4 walks the paper's Figure 4 end to end: allocating 11 pages
+// from a 16-page block, freeing 7 pages starting at page 3, then freeing
+// page 10 with iterative coalescing.
+func E3Figure4() (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "arbitrary-size allocation and partial free (Fig 4)",
+		Claim:   "a client may request any size (carved per its binary representation) and selectively free any portion; buddies coalesce iteratively (§3.2)",
+		Headers: []string{"step", "segment map (state / space-page + pages)"},
+	}
+	sp, _, _, err := newSpace(64, 16)
+	if err != nil {
+		return nil, err
+	}
+	base := sp.Base()
+	snapshot := func() (string, error) {
+		segs, err := sp.Snapshot()
+		if err != nil {
+			return "", err
+		}
+		out := ""
+		for i, s := range segs {
+			if i > 0 {
+				out += "  "
+			}
+			state := "free "
+			if s.Allocated {
+				state = "alloc"
+			}
+			out += fmt.Sprintf("%s %d+%d", state, s.Start-base, s.Pages)
+		}
+		return out, nil
+	}
+	if _, err := sp.Alloc(11); err != nil {
+		return nil, err
+	}
+	row, err := snapshot()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("4.b: alloc 11 (=8+2+1; tail freed as 1+4)", row)
+
+	if err := sp.Free(base+3, 7); err != nil {
+		return nil, err
+	}
+	row, err = snapshot()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("4.c: free 7 pages at page 3", row)
+
+	if err := sp.Free(base+10, 1); err != nil {
+		return nil, err
+	}
+	row, err = snapshot()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("4.d: free page 10 (10+11 -> 8..11 -> 8..15)", row)
+	return t, nil
+}
+
+// E9Superdirectory measures the §3.3 superdirectory: space directories
+// consulted per allocation with and without it, as full spaces
+// accumulate.
+func E9Superdirectory() (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "superdirectory ablation (§3.3)",
+		Claim:   "\"the buddy system inspects the superdirectory to eliminate unnecessary access to an individual buddy space directory\"",
+		Headers: []string{"superdirectory", "spaces", "full", "allocs", "dirs visited", "visits/alloc", "skips"},
+	}
+	for _, useSuper := range []bool{true, false} {
+		const spaces = 16
+		st, err := NewStackGeometry(1024, spaces, 512, lobDefaultConfig(), useSuper)
+		if err != nil {
+			return nil, err
+		}
+		// Fill all but the last space.
+		for i := 0; i < spaces-1; i++ {
+			if _, err := st.Buddy.Alloc(512); err != nil {
+				return nil, err
+			}
+		}
+		base := st.Buddy.Stats()
+		const allocs = 200
+		for i := 0; i < allocs; i++ {
+			p, err := st.Buddy.Alloc(4)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.Buddy.Free(p, 4); err != nil {
+				return nil, err
+			}
+		}
+		d := st.Buddy.Stats()
+		visits := d.SpacesVisited - base.SpacesVisited
+		t.AddRow(fmt.Sprint(useSuper), fmt.Sprint(spaces), fmt.Sprint(spaces-1),
+			fmt.Sprint(allocs), fmtI(visits), fmtF(float64(visits)/allocs/2),
+			fmtI(d.SpacesSkipped-base.SpacesSkipped))
+	}
+	t.Notes = append(t.Notes, "visits/alloc counts both the alloc and the matching free; 1.00 is optimal")
+	return t, nil
+}

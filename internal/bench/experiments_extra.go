@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eosdb/eos/internal/baseline/exodus"
+	"github.com/eosdb/eos/internal/lob"
+)
+
+// E14ExodusLeafSizeTension demonstrates the §2 criticism of EXODUS: the
+// fixed leaf block size must be chosen up front, and it pulls search
+// time and storage utilization in opposite directions — the tension
+// EOS's variable-size segments dissolve.
+func E14ExodusLeafSizeTension() (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "EXODUS fixed leaf size: search vs utilization (§2)",
+		Claim:   "\"Large pages waste too much space at the end of partially full pages (but offer good search time), and small pages offer good storage utilization (but require doing many I/O's for reads)\"",
+		Headers: []string{"system", "leaf pages", "scan seeks", "scan sim time", "utilization", "blocks/segments"},
+	}
+	const size = 512 << 10
+	workload := func(o sysObj) error {
+		// Build by appends, then scatter small inserts.
+		chunk := Pattern(1, 16384)
+		for w := 0; w < size; w += len(chunk) {
+			if err := o.AppendHint(chunk, int64(size-w)); err != nil {
+				return err
+			}
+		}
+		rng := rand.New(rand.NewSource(14))
+		for i := 0; i < 50; i++ {
+			if err := o.Insert(int64(rng.Intn(int(o.Size()))), Pattern(i, 100)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, leafPages := range []int{1, 2, 4, 16, 64} {
+		st, err := NewStack(2, lobDefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		xo, err := exodus.New(st.Vol, st.Pool, st.Buddy, leafPages)
+		if err != nil {
+			return nil, err
+		}
+		o := sysObj(exoObj{xo})
+		if err := workload(o); err != nil {
+			return nil, err
+		}
+		if err := st.ColdIO(); err != nil {
+			return nil, err
+		}
+		if _, err := o.Read(0, o.Size()); err != nil {
+			return nil, err
+		}
+		scan := st.Vol.Stats()
+		dataBytes, dataPages, indexPages, err := o.Usage()
+		if err != nil {
+			return nil, err
+		}
+		util := float64(dataBytes) / (float64(dataPages+indexPages) * benchPageSize)
+		blocks, err := xo.BlockCount()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("EXODUS", fmt.Sprint(leafPages), fmtI(scan.Seeks), fmtMS(scan.Micros),
+			fmtPct(util), fmt.Sprint(blocks))
+	}
+
+	// EOS with the same workload: variable segments give both.
+	st, err := NewStack(2, lob.Config{Threshold: 8})
+	if err != nil {
+		return nil, err
+	}
+	o := sysObj(eosObj{st.LM.NewObject(8)})
+	if err := workload(o); err != nil {
+		return nil, err
+	}
+	if err := st.ColdIO(); err != nil {
+		return nil, err
+	}
+	if _, err := o.Read(0, o.Size()); err != nil {
+		return nil, err
+	}
+	scan := st.Vol.Stats()
+	dataBytes, dataPages, indexPages, err := o.Usage()
+	if err != nil {
+		return nil, err
+	}
+	util := float64(dataBytes) / (float64(dataPages+indexPages) * benchPageSize)
+	t.AddRow("EOS (T=8)", "variable", fmtI(scan.Seeks), fmtMS(scan.Micros),
+		fmtPct(util), fmt.Sprint(countSegments(o)))
+	t.Notes = append(t.Notes, "512 KB object built by appends + 50 random 100-byte inserts; full cold scan")
+	return t, nil
+}
+
+// E15Compaction measures the Compact maintenance operation: a heavily
+// edited object regains near-pristine sequential performance, echoing
+// §4.4's "for more static objects ... the larger the segment size the
+// better the overall performance".
+func E15Compaction() (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "object compaction after heavy editing",
+		Claim:   "rewriting a fragmented object into maximal contiguous segments restores transfer-rate sequential I/O",
+		Headers: []string{"state", "segments", "index pages", "scan seeks", "scan sim time", "utilization"},
+	}
+	st, err := NewStack(4, lob.Config{Threshold: 1}) // T=1: fragment freely
+	if err != nil {
+		return nil, err
+	}
+	o := st.LM.NewObject(0)
+	const size = 1 << 20
+	if err := o.AppendWithHint(Pattern(1, size), size); err != nil {
+		return nil, err
+	}
+	measure := func(label string) error {
+		u, err := o.Usage()
+		if err != nil {
+			return err
+		}
+		if err := st.ColdIO(); err != nil {
+			return err
+		}
+		if _, err := o.Read(0, o.Size()); err != nil {
+			return err
+		}
+		s := st.Vol.Stats()
+		t.AddRow(label, fmt.Sprint(u.SegmentCount), fmt.Sprint(u.IndexPages),
+			fmtI(s.Seeks), fmtMS(s.Micros), fmtPct(u.Utilization(benchPageSize)))
+		return nil
+	}
+	if err := measure("pristine"); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 400; i++ {
+		off := int64(rng.Intn(int(o.Size())))
+		if i%2 == 0 {
+			if err := o.Insert(off, Pattern(i, 64)); err != nil {
+				return nil, err
+			}
+		} else {
+			n := int64(64)
+			if off+n > o.Size() {
+				n = o.Size() - off
+			}
+			if n > 0 {
+				if err := o.Delete(off, n); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := measure("after 400 edits (T=1)"); err != nil {
+		return nil, err
+	}
+	if err := st.ResetIO(); err != nil {
+		return nil, err
+	}
+	if err := o.Compact(); err != nil {
+		return nil, err
+	}
+	compactIO := st.Vol.Stats()
+	if err := measure("after Compact"); err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("compaction itself moved %d pages in %s (one read + one write of the object)",
+			compactIO.PagesMoved(), fmtMS(compactIO.Micros)))
+	return t, nil
+}

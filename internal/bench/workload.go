@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload models one of the application classes the paper's
+// introduction motivates (§1): multimedia presentation, movie editing,
+// document processing, and mostly-read archives.  Each workload is a
+// deterministic operation sequence driven against any system under
+// test.
+type Workload struct {
+	Name string
+	Desc string
+	Run  func(o sysObj, rng *rand.Rand) error
+}
+
+// Workloads returns the standard application mix.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "stream",
+			Desc: "ingest 1 MB in 32 KB chunks (size unknown), then three full playback scans",
+			Run: func(o sysObj, rng *rand.Rand) error {
+				chunk := Pattern(1, 32<<10)
+				for w := 0; w < 1<<20; w += len(chunk) {
+					if err := o.AppendHint(chunk, 0); err != nil {
+						return err
+					}
+				}
+				for pass := 0; pass < 3; pass++ {
+					if _, err := o.Read(0, o.Size()); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "video-edit",
+			Desc: "2 MB clip; 50 frame-sized (24 KB) cuts and splices; one playback scan",
+			Run: func(o sysObj, rng *rand.Rand) error {
+				const frame = 24 << 10
+				if err := o.AppendHint(Pattern(2, 2<<20), 2<<20); err != nil {
+					return err
+				}
+				for i := 0; i < 50; i++ {
+					off := int64(rng.Intn(int(o.Size()) - frame))
+					if i%2 == 0 {
+						if err := o.Delete(off, frame); err != nil {
+							return err
+						}
+					} else if err := o.Insert(off, Pattern(i, frame)); err != nil {
+						return err
+					}
+				}
+				_, err := o.Read(0, o.Size())
+				return err
+			},
+		},
+		{
+			Name: "document",
+			Desc: "64 KB document; 200 small random record edits; 100 random 1 KB reads",
+			Run: func(o sysObj, rng *rand.Rand) error {
+				if err := o.AppendHint(Pattern(3, 64<<10), 64<<10); err != nil {
+					return err
+				}
+				for i := 0; i < 200; i++ {
+					off := int64(rng.Intn(int(o.Size())))
+					n := 1 + rng.Intn(300)
+					if i%2 == 0 {
+						if err := o.Insert(off, Pattern(i, n)); err != nil {
+							return err
+						}
+					} else {
+						m := int64(n)
+						if off+m > o.Size() {
+							m = o.Size() - off
+						}
+						if m > 0 {
+							if err := o.Delete(off, m); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				for i := 0; i < 100; i++ {
+					off := int64(rng.Intn(int(o.Size()) - 1024))
+					if _, err := o.Read(off, 1024); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "archive",
+			Desc: "1 MB written once with a size hint; 500 random 4 KB reads",
+			Run: func(o sysObj, rng *rand.Rand) error {
+				if err := o.AppendHint(Pattern(4, 1<<20), 1<<20); err != nil {
+					return err
+				}
+				for i := 0; i < 500; i++ {
+					off := int64(rng.Intn(int(o.Size()) - 4096))
+					if _, err := o.Read(off, 4096); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// E16ApplicationWorkloads runs the §1 application mix end to end on
+// every system and reports total simulated time — the bottom-line
+// comparison a storage engine shopper would want.
+func E16ApplicationWorkloads() (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "application workload mix (§1 motivation)",
+		Claim:   "EOS serves both the streaming/archive workloads (Starburst's home turf) and the editing workloads (where Starburst degrades), without EXODUS's leaf-size compromise or WiSS's size cap",
+		Headers: []string{"workload", "system", "sim time", "pages moved", "seeks", "final util"},
+	}
+	for _, wl := range Workloads() {
+		for _, sys := range systems() {
+			// Skip systems whose size ceiling the workload exceeds.
+			if sys.maxBytes > 0 && wl.Name != "document" {
+				t.AddRow(wl.Name, sys.name, "exceeds max object size", "-", "-", "-")
+				continue
+			}
+			st, err := NewStack(3, lobDefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			o, err := sys.make(st)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.ResetIO(); err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(16))
+			if err := wl.Run(o, rng); err != nil {
+				t.AddRow(wl.Name, sys.name, "error: "+err.Error(), "-", "-", "-")
+				continue
+			}
+			if err := st.Pool.FlushAll(); err != nil {
+				return nil, err
+			}
+			s := st.Vol.Stats()
+			dataBytes, dataPages, indexPages, err := o.Usage()
+			if err != nil {
+				return nil, err
+			}
+			util := float64(dataBytes) / (float64(dataPages+indexPages) * benchPageSize)
+			t.AddRow(wl.Name, sys.name, fmtMS(s.Micros), fmtI(s.PagesMoved()), fmtI(s.Seeks), fmtPct(util))
+		}
+	}
+	t.Notes = append(t.Notes, "each cell is one full workload run on a fresh store; PS = 1 KB")
+	for _, wl := range Workloads() {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", wl.Name, wl.Desc))
+	}
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package buddy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// TestQuickSegWalkConsistency: after arbitrary alloc/free churn, walking
+// the space with segStartingAt partitions [0, capacity) exactly, and
+// segContaining agrees with the walk for every page.
+func TestQuickSegWalkConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 64
+		vol := disk.MustNewVolume(128, disk.PageNum(capacity+4), disk.CostModel{})
+		pool := buffer.MustNewPool(vol, 4)
+		sp, err := FormatSpace(pool, 0, 1, capacity, vol)
+		if err != nil {
+			return false
+		}
+		type run struct {
+			p disk.PageNum
+			n int
+		}
+		var live []run
+		for op := 0; op < 60; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				n := 1 + rng.Intn(12)
+				p, err := sp.Alloc(n)
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live = append(live, run{p, n})
+			} else {
+				i := rng.Intn(len(live))
+				if err := sp.Free(live[i].p, live[i].n); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Cross-check the two decoders over the whole space.
+		ok := true
+		err = sp.withDir(false, func(d dir) error {
+			for p := 0; p < d.capacity(); {
+				typ, alloc, err := d.segStartingAt(p)
+				if err != nil {
+					ok = false
+					return nil
+				}
+				for q := p; q < p+(1<<typ); q++ {
+					s0, t0, a0, err := d.segContaining(q)
+					if err != nil {
+						ok = false
+						return nil
+					}
+					// For big segments both decoders agree exactly; for
+					// individually-encoded pages segContaining reports
+					// per-page granularity, which must at least agree on
+					// allocation status and containment.
+					if a0 != alloc || s0 < p || s0+(1<<t0) > p+(1<<typ) {
+						ok = false
+						return nil
+					}
+				}
+				p += 1 << typ
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

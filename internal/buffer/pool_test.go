@@ -1,0 +1,317 @@
+package buffer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func newPoolT(t *testing.T, pageSize int, pages disk.PageNum, capacity int) (*Pool, *disk.Volume) {
+	t.Helper()
+	vol := disk.MustNewVolume(pageSize, pages, disk.CostModel{})
+	return MustNewPool(vol, capacity), vol
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	vol := disk.MustNewVolume(64, 8, disk.CostModel{})
+	if _, err := NewPool(vol, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPool(vol, -3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestFixReadsThrough(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	want := bytes.Repeat([]byte{7}, 64)
+	if err := vol.WritePages(2, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Fix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("Fix returned wrong page image")
+	}
+	if err := pool.Unpin(2); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 1 miss", s)
+	}
+}
+
+func TestFixHitAvoidsDisk(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	if _, err := pool.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(1)
+	before := vol.Stats().Reads
+	if _, err := pool.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(1)
+	if vol.Stats().Reads != before {
+		t.Error("second Fix hit the disk")
+	}
+	if s := pool.Stats(); s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 2)
+	img, err := pool.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(img, bytes.Repeat([]byte{5}, 64))
+	pool.MarkDirty(0)
+	pool.Unpin(0)
+
+	// Fill the pool so page 0 is evicted.
+	for _, pg := range []disk.PageNum{1, 2} {
+		if _, err := pool.Fix(pg); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(pg)
+	}
+	got, err := vol.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{5}, 64)) {
+		t.Error("dirty page was not written back on eviction")
+	}
+	if s := pool.Stats(); s.Flushes != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 flush 1 eviction", s)
+	}
+}
+
+func TestAllPinnedErrors(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 2)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(2); err == nil {
+		t.Error("Fix succeeded with all frames pinned")
+	}
+	pool.Unpin(0)
+	if _, err := pool.Fix(2); err != nil {
+		t.Errorf("Fix after Unpin: %v", err)
+	}
+}
+
+func TestPinCountsNested(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 1)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(0)
+	// Still pinned once: the only frame must not be evictable.
+	if _, err := pool.Fix(1); err == nil {
+		t.Error("evicted a pinned frame")
+	}
+	pool.Unpin(0)
+	if _, err := pool.Fix(1); err != nil {
+		t.Errorf("Fix after full unpin: %v", err)
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 2)
+	if err := pool.Unpin(3); err == nil {
+		t.Error("Unpin of unknown page succeeded")
+	}
+	if err := pool.MarkDirty(3); err == nil {
+		t.Error("MarkDirty of unknown page succeeded")
+	}
+}
+
+func TestFixNewSkipsRead(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 2)
+	before := vol.Stats().Reads
+	img, err := pool.FixNew(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Stats().Reads != before {
+		t.Error("FixNew read from disk")
+	}
+	if !bytes.Equal(img, make([]byte, 64)) {
+		t.Error("FixNew image not zeroed")
+	}
+	copy(img, bytes.Repeat([]byte{9}, 64))
+	pool.Unpin(5)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vol.Read(5, 1)
+	if !bytes.Equal(got, bytes.Repeat([]byte{9}, 64)) {
+		t.Error("FixNew content not flushed")
+	}
+}
+
+func TestFlushPageAndAll(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	for _, pg := range []disk.PageNum{0, 1} {
+		img, err := pool.Fix(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img[0] = byte(10 + pg)
+		pool.MarkDirty(pg)
+		pool.Unpin(pg)
+	}
+	if err := pool.FlushPage(0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vol.Read(0, 1)
+	if got[0] != 10 {
+		t.Error("FlushPage did not persist page 0")
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = vol.Read(1, 1)
+	if got[0] != 11 {
+		t.Error("FlushAll did not persist page 1")
+	}
+	// Flushing a clean page is a no-op.
+	f := pool.Stats().Flushes
+	if err := pool.FlushPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Flushes != f {
+		t.Error("flushing clean page counted a flush")
+	}
+}
+
+func TestDiscardDropsDirtyData(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	img, err := pool.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[0] = 42
+	pool.MarkDirty(0)
+	pool.Unpin(0)
+	pool.Discard(0)
+	got, _ := vol.Read(0, 1)
+	if got[0] != 0 {
+		t.Error("Discard wrote the page back")
+	}
+	if pool.Resident(0) {
+		t.Error("page still resident after Discard")
+	}
+}
+
+func TestDiscardAllSimulatesCrash(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	for pg := disk.PageNum(0); pg < 3; pg++ {
+		img, err := pool.Fix(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img[0] = 1
+		pool.MarkDirty(pg)
+		pool.Unpin(pg)
+	}
+	pool.DiscardAll()
+	for pg := disk.PageNum(0); pg < 3; pg++ {
+		if pool.Resident(pg) {
+			t.Errorf("page %d resident after DiscardAll", pg)
+		}
+		got, _ := vol.Read(pg, 1)
+		if got[0] != 0 {
+			t.Errorf("page %d leaked to disk", pg)
+		}
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 16, 3)
+	touch := func(pg disk.PageNum) {
+		t.Helper()
+		if _, err := pool.Fix(pg); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(pg)
+	}
+	touch(0)
+	touch(1)
+	touch(2)
+	touch(0) // 1 is now LRU
+	touch(3) // evicts 1
+	if pool.Resident(1) {
+		t.Error("page 1 should have been evicted")
+	}
+	for _, pg := range []disk.PageNum{0, 2, 3} {
+		if !pool.Resident(pg) {
+			t.Errorf("page %d should be resident", pg)
+		}
+	}
+}
+
+func TestConcurrentFixUnpin(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 64, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pg := disk.PageNum((seed*31 + i*7) % 64)
+				if _, err := pool.Fix(pg); err != nil {
+					continue // pool may be transiently full
+				}
+				pool.Unpin(pg)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFixHit(b *testing.B) {
+	vol := disk.MustNewVolume(4096, 64, disk.CostModel{})
+	pool := MustNewPool(vol, 32)
+	if _, err := pool.Fix(5); err != nil {
+		b.Fatal(err)
+	}
+	pool.Unpin(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Fix(5); err != nil {
+			b.Fatal(err)
+		}
+		pool.Unpin(5)
+	}
+}
+
+func BenchmarkFixMissEvict(b *testing.B) {
+	vol := disk.MustNewVolume(4096, 1024, disk.CostModel{})
+	pool := MustNewPool(vol, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := disk.PageNum(i % 1024)
+		if _, err := pool.Fix(pg); err != nil {
+			b.Fatal(err)
+		}
+		pool.Unpin(pg)
+	}
+}

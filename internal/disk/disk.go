@@ -1,0 +1,376 @@
+// Package disk provides a simulated disk volume used as the storage
+// substrate for the EOS large object manager and the baseline systems.
+//
+// The paper's evaluation (Biliris, ICDE 1992) reasons about storage cost
+// in terms of disk seeks and page transfers: "Good sequential access means
+// that the I/O rates in accessing a large object must be close to transfer
+// rates", and the buddy system's headline claim is "at most one disk
+// access ... regardless of the segment size".  The Volume type therefore
+// accounts for exactly those quantities: it tracks every read and write,
+// whether it required a head seek (the request did not continue from the
+// previous physical position), how many pages moved, and the modelled
+// elapsed time under a parametric cost model.
+//
+// Data is held in memory; the simulation is about cost accounting, not
+// persistence.  Durability semantics needed by the recovery experiments
+// (which writes survive a crash) are provided by CrashPoint support: a
+// Volume distinguishes pages that have been "forced" (survive a simulated
+// crash) from pages written but not yet forced.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common volume errors.
+var (
+	// ErrOutOfRange is returned when a page access falls outside the volume.
+	ErrOutOfRange = errors.New("disk: page access out of range")
+	// ErrBadLength is returned when a buffer length is not a whole number
+	// of pages.
+	ErrBadLength = errors.New("disk: buffer length not a multiple of page size")
+)
+
+// CostModel describes the simulated device timing.  All durations are in
+// microseconds so that integer arithmetic is exact and deterministic.
+type CostModel struct {
+	// SeekMicros is the average cost of repositioning the head, charged
+	// whenever a request does not start at the page following the previous
+	// request's last page.
+	SeekMicros int64
+	// RotationalMicros is the average rotational delay, charged together
+	// with every seek.
+	RotationalMicros int64
+	// TransferMicrosPerPage is the time to transfer one page once the head
+	// is positioned.
+	TransferMicrosPerPage int64
+}
+
+// DefaultCostModel models a circa-1992 disk (the paper's SparcStation
+// environment): 16 ms average seek, 8.3 ms rotational delay (3600 rpm),
+// and roughly 1.7 ms to transfer a 4 KB page (~2.4 MB/s media rate).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SeekMicros:            16000,
+		RotationalMicros:      8300,
+		TransferMicrosPerPage: 1700,
+	}
+}
+
+// Stats accumulates I/O accounting for a Volume.  Counters are cumulative;
+// use Volume.ResetStats or subtract snapshots to measure an interval.
+type Stats struct {
+	Reads        int64 // read requests
+	Writes       int64 // write requests
+	PagesRead    int64 // pages transferred by reads
+	PagesWritten int64 // pages transferred by writes
+	Seeks        int64 // requests that required repositioning the head
+	Micros       int64 // modelled elapsed time in microseconds
+}
+
+// Accesses returns the total number of I/O requests.
+func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// PagesMoved returns the total number of pages transferred.
+func (s Stats) PagesMoved() int64 { return s.PagesRead + s.PagesWritten }
+
+// Sub returns the interval statistics s - prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		PagesRead:    s.PagesRead - prev.PagesRead,
+		PagesWritten: s.PagesWritten - prev.PagesWritten,
+		Seeks:        s.Seeks - prev.Seeks,
+		Micros:       s.Micros - prev.Micros,
+	}
+}
+
+// String renders the statistics compactly for experiment tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d pagesIn=%d pagesOut=%d seeks=%d time=%.2fms",
+		s.Reads, s.Writes, s.PagesRead, s.PagesWritten, s.Seeks, float64(s.Micros)/1000)
+}
+
+// PageNum identifies a page within a volume.  The paper's allocation map
+// supports segment sizes up to 2^63 pages; a signed 64-bit page number is
+// more than sufficient.
+type PageNum int64
+
+// Volume is a simulated disk: a linear array of fixed-size pages with
+// seek/transfer cost accounting and crash semantics.
+//
+// A Volume is safe for concurrent use; each request is atomic.
+type Volume struct {
+	mu       sync.Mutex
+	pageSize int
+	numPages PageNum
+	data     []byte // numPages * pageSize
+	durable  []byte // last forced image of every page (crash survivors)
+	dirty    map[PageNum]bool
+	model    CostModel
+	stats    Stats
+	headPos  PageNum // page following the last transferred page; -1 unknown
+
+	// Fault injection: when faultAfter reaches zero, every subsequent
+	// request fails with faultErr until ClearFault.
+	faultAfter int64
+	faultErr   error
+
+	tracer func(TraceEvent)
+}
+
+// NewVolume creates a volume of numPages pages of pageSize bytes each,
+// using the supplied cost model.  pageSize must be positive; numPages must
+// be positive.
+func NewVolume(pageSize int, numPages PageNum, model CostModel) (*Volume, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("disk: invalid page size %d", pageSize)
+	}
+	if numPages <= 0 {
+		return nil, fmt.Errorf("disk: invalid volume size %d pages", numPages)
+	}
+	return &Volume{
+		pageSize: pageSize,
+		numPages: numPages,
+		data:     make([]byte, int64(numPages)*int64(pageSize)),
+		durable:  make([]byte, int64(numPages)*int64(pageSize)),
+		dirty:    make(map[PageNum]bool),
+		model:    model,
+		headPos:  -1,
+	}, nil
+}
+
+// MustNewVolume is NewVolume that panics on error, for tests and examples
+// with constant parameters.
+func MustNewVolume(pageSize int, numPages PageNum, model CostModel) *Volume {
+	v, err := NewVolume(pageSize, numPages, model)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PageSize reports the volume's page size in bytes.
+func (v *Volume) PageSize() int { return v.pageSize }
+
+// NumPages reports the volume's capacity in pages.
+func (v *Volume) NumPages() PageNum { return v.numPages }
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (v *Volume) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// ResetStats zeroes the statistics counters and forgets the head position
+// so the next request is charged a seek.
+func (v *Volume) ResetStats() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.stats = Stats{}
+	v.headPos = -1
+}
+
+// TraceEvent describes one I/O request, emitted to the tracer if one is
+// installed.  Tooling uses traces to visualize access patterns — e.g.
+// confirming that a sequential object scan issues a handful of large
+// contiguous requests rather than per-page seeks.
+type TraceEvent struct {
+	Write bool
+	Start PageNum
+	Pages int
+	Seek  bool // the request repositioned the head
+}
+
+// SetTracer installs fn to observe every read and write; nil disables
+// tracing.  The tracer is invoked synchronously with the volume lock
+// held, so it must be fast and must not call back into the volume.
+func (v *Volume) SetTracer(fn func(TraceEvent)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.tracer = fn
+}
+
+// FailAfter arms fault injection: after n more successful requests,
+// every read and write fails with err until ClearFault.  Tests use this
+// to verify that I/O errors propagate cleanly through every layer.
+func (v *Volume) FailAfter(n int64, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.faultAfter = n
+	v.faultErr = err
+}
+
+// ClearFault disarms fault injection.
+func (v *Volume) ClearFault() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.faultErr = nil
+}
+
+// faultCheck consumes one request against the fault budget.  Caller
+// holds v.mu.
+func (v *Volume) faultCheck() error {
+	if v.faultErr == nil {
+		return nil
+	}
+	if v.faultAfter > 0 {
+		v.faultAfter--
+		return nil
+	}
+	return v.faultErr
+}
+
+func (v *Volume) checkRange(start PageNum, n int) error {
+	if n < 0 || start < 0 || PageNum(int64(start)+int64(n)) > v.numPages {
+		return fmt.Errorf("%w: pages [%d,%d) of %d", ErrOutOfRange, start, int64(start)+int64(n), v.numPages)
+	}
+	return nil
+}
+
+func (v *Volume) charge(start PageNum, n int, write bool) {
+	if n == 0 {
+		return
+	}
+	seek := v.headPos != start
+	if seek {
+		v.stats.Seeks++
+		v.stats.Micros += v.model.SeekMicros + v.model.RotationalMicros
+	}
+	v.stats.Micros += int64(n) * v.model.TransferMicrosPerPage
+	v.headPos = start + PageNum(n)
+	if v.tracer != nil {
+		v.tracer(TraceEvent{Write: write, Start: start, Pages: n, Seek: seek})
+	}
+}
+
+// ReadPages reads n physically contiguous pages starting at page start
+// into buf, which must be exactly n*PageSize bytes.  A single multi-page
+// read costs at most one seek — this is the contiguity property the EOS
+// segment design exists to exploit.
+func (v *Volume) ReadPages(start PageNum, n int, buf []byte) error {
+	if len(buf) != n*v.pageSize {
+		return fmt.Errorf("%w: got %d bytes for %d pages", ErrBadLength, len(buf), n)
+	}
+	if err := v.checkRange(start, n); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.faultCheck(); err != nil {
+		return err
+	}
+	v.stats.Reads++
+	v.stats.PagesRead += int64(n)
+	v.charge(start, n, false)
+	off := int64(start) * int64(v.pageSize)
+	copy(buf, v.data[off:off+int64(n)*int64(v.pageSize)])
+	return nil
+}
+
+// Read allocates and returns the content of n contiguous pages.
+func (v *Volume) Read(start PageNum, n int) ([]byte, error) {
+	buf := make([]byte, n*v.pageSize)
+	if err := v.ReadPages(start, n, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WritePages writes n physically contiguous pages starting at page start.
+// buf must be exactly n*PageSize bytes.  The write is volatile until the
+// pages are forced (Force/ForceAll) or until Settle is called.
+func (v *Volume) WritePages(start PageNum, n int, buf []byte) error {
+	if len(buf) != n*v.pageSize {
+		return fmt.Errorf("%w: got %d bytes for %d pages", ErrBadLength, len(buf), n)
+	}
+	if err := v.checkRange(start, n); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.faultCheck(); err != nil {
+		return err
+	}
+	v.stats.Writes++
+	v.stats.PagesWritten += int64(n)
+	v.charge(start, n, true)
+	off := int64(start) * int64(v.pageSize)
+	copy(v.data[off:], buf)
+	for i := 0; i < n; i++ {
+		v.dirty[start+PageNum(i)] = true
+	}
+	return nil
+}
+
+// Force makes the current contents of n pages starting at start durable:
+// they will survive a simulated crash.  Forcing already-durable pages is a
+// no-op for accounting purposes (the write itself was already charged).
+func (v *Volume) Force(start PageNum, n int) error {
+	if err := v.checkRange(start, n); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := 0; i < n; i++ {
+		p := start + PageNum(i)
+		if v.dirty[p] {
+			off := int64(p) * int64(v.pageSize)
+			copy(v.durable[off:off+int64(v.pageSize)], v.data[off:off+int64(v.pageSize)])
+			delete(v.dirty, p)
+		}
+	}
+	return nil
+}
+
+// ForceAll makes every written page durable.
+func (v *Volume) ForceAll() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for p := range v.dirty {
+		off := int64(p) * int64(v.pageSize)
+		copy(v.durable[off:off+int64(v.pageSize)], v.data[off:off+int64(v.pageSize)])
+	}
+	v.dirty = make(map[PageNum]bool)
+}
+
+// ForceAllExcept makes every written page durable except those in skip,
+// which stay volatile.  The transaction layer uses it so that one
+// transaction's commit never forces another live transaction's in-place
+// writes to disk (the steal it cannot undo without that transaction's
+// log records being final).
+func (v *Volume) ForceAllExcept(skip map[PageNum]bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for p := range v.dirty {
+		if skip[p] {
+			continue
+		}
+		off := int64(p) * int64(v.pageSize)
+		copy(v.durable[off:off+int64(v.pageSize)], v.data[off:off+int64(v.pageSize)])
+		delete(v.dirty, p)
+	}
+}
+
+// Crash simulates a power failure: every page reverts to its last forced
+// image.  Statistics and head position are reset, as a restarted system
+// observes a cold device.
+func (v *Volume) Crash() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	copy(v.data, v.durable)
+	v.dirty = make(map[PageNum]bool)
+	v.stats = Stats{}
+	v.headPos = -1
+}
+
+// DirtyPages reports how many written pages have not been forced.
+func (v *Volume) DirtyPages() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.dirty)
+}

@@ -1,0 +1,329 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testVolume(t *testing.T, pageSize int, numPages PageNum) *Volume {
+	t.Helper()
+	v, err := NewVolume(pageSize, numPages, DefaultCostModel())
+	if err != nil {
+		t.Fatalf("NewVolume: %v", err)
+	}
+	return v
+}
+
+func TestNewVolumeValidation(t *testing.T) {
+	if _, err := NewVolume(0, 10, DefaultCostModel()); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewVolume(-4, 10, DefaultCostModel()); err == nil {
+		t.Error("negative page size accepted")
+	}
+	if _, err := NewVolume(512, 0, DefaultCostModel()); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := NewVolume(512, -1, DefaultCostModel()); err == nil {
+		t.Error("negative pages accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	v := testVolume(t, 128, 64)
+	want := make([]byte, 3*128)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := v.WritePages(5, 3, want); err != nil {
+		t.Fatalf("WritePages: %v", err)
+	}
+	got, err := v.Read(5, 3)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("read data differs from written data")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	v := testVolume(t, 64, 8)
+	buf := make([]byte, 64)
+	cases := []struct {
+		name  string
+		start PageNum
+		n     int
+	}{
+		{"negative start", -1, 1},
+		{"past end", 8, 1},
+		{"straddles end", 7, 2},
+	}
+	for _, c := range cases {
+		if err := v.ReadPages(c.start, c.n, make([]byte, c.n*64)); err == nil {
+			t.Errorf("read %s: no error", c.name)
+		}
+		if c.n == 1 {
+			if err := v.WritePages(c.start, c.n, buf); err == nil {
+				t.Errorf("write %s: no error", c.name)
+			}
+		}
+	}
+	if err := v.ReadPages(0, 2, buf); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestSeekAccountingSequentialVsRandom(t *testing.T) {
+	v := testVolume(t, 64, 100)
+	buf := make([]byte, 64)
+
+	// Sequential scan: one seek for the whole pass.
+	for p := PageNum(0); p < 50; p++ {
+		if err := v.ReadPages(p, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := v.Stats()
+	if s.Seeks != 1 {
+		t.Errorf("sequential scan: got %d seeks, want 1", s.Seeks)
+	}
+	if s.PagesRead != 50 {
+		t.Errorf("sequential scan: got %d pages, want 50", s.PagesRead)
+	}
+
+	// Random probes: a seek each.
+	v.ResetStats()
+	probes := []PageNum{40, 3, 77, 12, 51}
+	for _, p := range probes {
+		if err := v.ReadPages(p, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Stats().Seeks; got != int64(len(probes)) {
+		t.Errorf("random probes: got %d seeks, want %d", got, len(probes))
+	}
+}
+
+func TestMultiPageReadSingleSeek(t *testing.T) {
+	v := testVolume(t, 64, 1024)
+	v.ResetStats()
+	if _, err := v.Read(100, 512); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Stats()
+	if s.Seeks != 1 {
+		t.Errorf("512-page contiguous read: %d seeks, want 1", s.Seeks)
+	}
+	if s.PagesRead != 512 {
+		t.Errorf("pages read = %d, want 512", s.PagesRead)
+	}
+}
+
+func TestCostModelCharging(t *testing.T) {
+	m := CostModel{SeekMicros: 100, RotationalMicros: 10, TransferMicrosPerPage: 3}
+	v, err := NewVolume(64, 16, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Read(0, 4); err != nil { // seek + 4 transfers
+		t.Fatal(err)
+	}
+	if _, err := v.Read(4, 2); err != nil { // sequential: 2 transfers
+		t.Fatal(err)
+	}
+	want := int64(100 + 10 + 4*3 + 2*3)
+	if got := v.Stats().Micros; got != want {
+		t.Errorf("modelled time = %dus, want %dus", got, want)
+	}
+}
+
+func TestWriteThenCrashReverts(t *testing.T) {
+	v := testVolume(t, 64, 8)
+	one := bytes.Repeat([]byte{1}, 64)
+	two := bytes.Repeat([]byte{2}, 64)
+
+	if err := v.WritePages(3, 1, one); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Force(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WritePages(3, 1, two); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WritePages(4, 1, two); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.DirtyPages(); got != 2 {
+		t.Errorf("dirty pages = %d, want 2", got)
+	}
+	v.Crash()
+	got, err := v.Read(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, one) {
+		t.Error("page 3 did not revert to forced image")
+	}
+	got, err = v.Read(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Error("never-forced page 4 survived the crash")
+	}
+}
+
+func TestForceAll(t *testing.T) {
+	v := testVolume(t, 32, 8)
+	payload := bytes.Repeat([]byte{9}, 32)
+	for p := PageNum(0); p < 8; p++ {
+		if err := v.WritePages(p, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.ForceAll()
+	if got := v.DirtyPages(); got != 0 {
+		t.Errorf("dirty pages after ForceAll = %d, want 0", got)
+	}
+	v.Crash()
+	for p := PageNum(0); p < 8; p++ {
+		got, err := v.Read(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("page %d lost after ForceAll+Crash", p)
+		}
+	}
+}
+
+func TestStatsSubAndAccessors(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4, PagesRead: 30, PagesWritten: 8, Seeks: 6, Micros: 1000}
+	b := Stats{Reads: 4, Writes: 1, PagesRead: 10, PagesWritten: 2, Seeks: 2, Micros: 400}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.PagesRead != 20 || d.PagesWritten != 6 || d.Seeks != 4 || d.Micros != 600 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if a.Accesses() != 14 {
+		t.Errorf("Accesses = %d, want 14", a.Accesses())
+	}
+	if a.PagesMoved() != 38 {
+		t.Errorf("PagesMoved = %d, want 38", a.PagesMoved())
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: any sequence of in-range writes followed by reads returns the
+// last written value for every page.
+func TestQuickWriteReadConsistency(t *testing.T) {
+	const pages = 32
+	const ps = 16
+	f := func(ops []struct {
+		Page uint8
+		Val  byte
+	}) bool {
+		v := MustNewVolume(ps, pages, CostModel{})
+		shadow := make(map[PageNum][]byte)
+		for _, op := range ops {
+			p := PageNum(op.Page % pages)
+			buf := bytes.Repeat([]byte{op.Val}, ps)
+			if err := v.WritePages(p, 1, buf); err != nil {
+				return false
+			}
+			shadow[p] = buf
+		}
+		for p, want := range shadow {
+			got, err := v.Read(p, 1)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: crash never surfaces data that was not forced, and always
+// preserves data that was.
+func TestQuickCrashDurability(t *testing.T) {
+	const pages = 16
+	const ps = 8
+	f := func(ops []struct {
+		Page  uint8
+		Val   byte
+		Force bool
+	}) bool {
+		v := MustNewVolume(ps, pages, CostModel{})
+		durable := make(map[PageNum][]byte)
+		for _, op := range ops {
+			p := PageNum(op.Page % pages)
+			buf := bytes.Repeat([]byte{op.Val}, ps)
+			if err := v.WritePages(p, 1, buf); err != nil {
+				return false
+			}
+			if op.Force {
+				if err := v.Force(p, 1); err != nil {
+					return false
+				}
+				durable[p] = buf
+			}
+		}
+		v.Crash()
+		for p := PageNum(0); p < pages; p++ {
+			want, ok := durable[p]
+			if !ok {
+				want = make([]byte, ps)
+			}
+			got, err := v.Read(p, 1)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerObservesRequests(t *testing.T) {
+	v := testVolume(t, 64, 64)
+	var events []TraceEvent
+	v.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	buf := make([]byte, 64)
+	if err := v.WritePages(3, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ReadPages(4, 1, buf); err != nil { // sequential: no seek
+		t.Fatal(err)
+	}
+	if err := v.ReadPages(40, 1, buf); err != nil { // seek
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if !events[0].Write || !events[0].Seek || events[0].Start != 3 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Write || events[1].Seek {
+		t.Errorf("event 1 = %+v (sequential read, no seek)", events[1])
+	}
+	if !events[2].Seek {
+		t.Errorf("event 2 = %+v (random read, seek)", events[2])
+	}
+	v.SetTracer(nil)
+	if err := v.ReadPages(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Error("tracer fired after being removed")
+	}
+}

@@ -1,0 +1,79 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Volume images can be saved to and loaded from ordinary files so that
+// the command-line tools work on persistent stores.  The image holds the
+// durable state only: saving implies a ForceAll (a tool exiting cleanly
+// is a clean shutdown), and a loaded volume starts with everything
+// durable.
+
+const (
+	imageMagic   = 0xE05F11E1
+	imageVersion = 1
+)
+
+// SaveFile forces all writes and stores the volume image at path.
+func (v *Volume) SaveFile(path string) error {
+	v.ForceAll()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var hdr [20]byte
+	binary.BigEndian.PutUint32(hdr[0:], imageMagic)
+	binary.BigEndian.PutUint32(hdr[4:], imageVersion)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(v.pageSize))
+	binary.BigEndian.PutUint64(hdr[12:], uint64(v.numPages))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	_, err = w.Write(v.durable)
+	v.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadVolume reads a volume image previously written by SaveFile.  The
+// model parameterizes the simulated cost accounting of the new volume.
+func LoadVolume(path string, model CostModel) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("disk: short volume image: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != imageMagic ||
+		binary.BigEndian.Uint32(hdr[4:]) != imageVersion {
+		return nil, fmt.Errorf("disk: %s is not a volume image", path)
+	}
+	pageSize := int(binary.BigEndian.Uint32(hdr[8:]))
+	numPages := PageNum(binary.BigEndian.Uint64(hdr[12:]))
+	v, err := NewVolume(pageSize, numPages, model)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, v.durable); err != nil {
+		return nil, fmt.Errorf("disk: truncated volume image: %w", err)
+	}
+	copy(v.data, v.durable)
+	return v, nil
+}

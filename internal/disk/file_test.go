@@ -1,0 +1,123 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.img")
+
+	v := MustNewVolume(128, 32, DefaultCostModel())
+	want := bytes.Repeat([]byte{0xAB}, 3*128)
+	if err := v.WritePages(5, 3, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	v2, err := LoadVolume(path, DefaultCostModel())
+	if err != nil {
+		t.Fatalf("LoadVolume: %v", err)
+	}
+	if v2.PageSize() != 128 || v2.NumPages() != 32 {
+		t.Errorf("geometry = %d/%d", v2.PageSize(), v2.NumPages())
+	}
+	got, err := v2.Read(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content lost across save/load")
+	}
+	// Loaded state is durable: a crash changes nothing.
+	v2.Crash()
+	got, _ = v2.Read(5, 3)
+	if !bytes.Equal(got, want) {
+		t.Error("loaded image not durable")
+	}
+}
+
+func TestSaveFileImpliesForce(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.img")
+	v := MustNewVolume(64, 8, CostModel{})
+	payload := bytes.Repeat([]byte{7}, 64)
+	if err := v.WritePages(0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Not forced — SaveFile must force before writing the image.
+	if err := v.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := LoadVolume(path, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v2.Read(0, 1)
+	if !bytes.Equal(got, payload) {
+		t.Error("unforced write missing from saved image")
+	}
+}
+
+func TestLoadVolumeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.img")
+	if err := os.WriteFile(path, []byte("not a volume"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(path, CostModel{}); err == nil {
+		t.Error("garbage image accepted")
+	}
+	if _, err := LoadVolume(filepath.Join(dir, "missing.img"), CostModel{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadVolumeRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.img")
+	v := MustNewVolume(64, 8, CostModel{})
+	if err := v.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVolume(path, CostModel{}); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	v := MustNewVolume(64, 8, CostModel{})
+	boom := errors.New("boom")
+	buf := make([]byte, 64)
+
+	v.FailAfter(2, boom)
+	if err := v.ReadPages(0, 1, buf); err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	if err := v.WritePages(0, 1, buf); err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	if err := v.ReadPages(0, 1, buf); !errors.Is(err, boom) {
+		t.Fatalf("request 3: err = %v, want boom", err)
+	}
+	if err := v.WritePages(0, 1, buf); !errors.Is(err, boom) {
+		t.Fatalf("request 4: err = %v, want boom", err)
+	}
+	v.ClearFault()
+	if err := v.ReadPages(0, 1, buf); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package lob
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCompactRestoresContiguity(t *testing.T) {
+	e := newEnv(t, 100, 16, 256, Config{Threshold: 1})
+	base := e.freePages(t)
+	o := e.m.NewObject(0)
+	model := pattern(1, 20000)
+	if err := o.AppendWithHint(model, int64(len(model))); err != nil {
+		t.Fatal(err)
+	}
+	// Fragment heavily with T = 1.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		off := int64(rng.Intn(len(model)))
+		ins := pattern(i, 20)
+		if err := o.Insert(off, ins); err != nil {
+			t.Fatal(err)
+		}
+		model = append(model[:off:off], append(append([]byte{}, ins...), model[off:]...)...)
+	}
+	uBefore, _ := o.Usage()
+	if uBefore.SegmentCount < 20 {
+		t.Fatalf("setup produced only %d segments", uBefore.SegmentCount)
+	}
+
+	if err := o.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	mustContent(t, o, model)
+	mustCheck(t, o)
+	uAfter, _ := o.Usage()
+	if uAfter.SegmentCount >= uBefore.SegmentCount/4 {
+		t.Errorf("segments %d -> %d: compaction ineffective", uBefore.SegmentCount, uAfter.SegmentCount)
+	}
+	// Page accounting balances: nothing leaked.
+	free := e.freePages(t)
+	if free+uAfter.SegmentPages+uAfter.IndexPages != base {
+		t.Errorf("pages leaked: free %d + used %d != %d",
+			free, uAfter.SegmentPages+uAfter.IndexPages, base)
+	}
+
+	// Sequential scan after compaction costs ~1 seek per segment.
+	e.pool.FlushAll()
+	e.vol.ResetStats()
+	if _, err := o.Read(0, o.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.vol.Stats(); s.Seeks > int64(uAfter.SegmentCount+2) {
+		t.Errorf("scan after compact: %d seeks for %d segments", s.Seeks, uAfter.SegmentCount)
+	}
+}
+
+func TestCompactEmptyObject(t *testing.T) {
+	e := newEnv(t, 100, 2, 256, Config{Threshold: 1})
+	o := e.m.NewObject(0)
+	if err := o.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 0 {
+		t.Error("empty compact changed size")
+	}
+}
+
+func TestCompactFailsCleanlyWithoutRoom(t *testing.T) {
+	// Compaction needs space for a second copy; on a nearly full volume
+	// it must fail without corrupting the object.
+	e := newEnv(t, 100, 1, 64, Config{Threshold: 1})
+	o := e.m.NewObject(0)
+	model := pattern(2, 4000) // 40 of 64 pages
+	if err := o.AppendWithHint(model, int64(len(model))); err != nil {
+		t.Fatal(err)
+	}
+	err := o.Compact()
+	if err == nil {
+		t.Fatal("compact succeeded without room for a copy")
+	}
+	if errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+	mustContent(t, o, model)
+	mustCheck(t, o)
+}
+
+func TestCompactLargeMultiSegment(t *testing.T) {
+	// Objects larger than one max segment compact into a chain of
+	// max-size segments.
+	e := newEnv(t, 100, 16, 256, Config{Threshold: 1})
+	o := e.m.NewObject(0)
+	model := pattern(3, 40000) // 400 pages; max segment 128
+	if err := o.Append(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Insert(20000, pattern(4, 55)); err != nil {
+		t.Fatal(err)
+	}
+	model = append(model[:20000:20000], append(pattern(4, 55), model[20000:]...)...)
+	if err := o.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	mustContent(t, o, model)
+	mustCheck(t, o)
+	pages, _ := o.SegmentPageCounts()
+	for i, p := range pages[:len(pages)-1] {
+		if p < 64 {
+			t.Errorf("segment %d has %d pages; compaction should produce large segments: %v", i, p, pages)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lob
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNoPinLeaks: every operation must leave the buffer pool fully
+// unpinned, or long runs exhaust the frames.
+func TestNoPinLeaks(t *testing.T) {
+	e := newEnv(t, 100, 8, 256, Config{Threshold: 4, MaxRootEntries: 3})
+	o := e.m.NewObject(0)
+	assert := func(stage string) {
+		t.Helper()
+		if n := e.pool.PinnedFrames(); n != 0 {
+			t.Fatalf("%s: %d frames left pinned", stage, n)
+		}
+	}
+	model := pattern(1, 8000)
+	if err := o.AppendWithHint(model, 8000); err != nil {
+		t.Fatal(err)
+	}
+	assert("append")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		off := int64(rng.Intn(int(o.Size())))
+		switch i % 4 {
+		case 0:
+			if err := o.Insert(off, pattern(i, 130)); err != nil {
+				t.Fatal(err)
+			}
+			assert("insert")
+		case 1:
+			n := int64(1 + rng.Intn(200))
+			if off+n > o.Size() {
+				n = o.Size() - off
+			}
+			if n > 0 {
+				if err := o.Delete(off, n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			assert("delete")
+		case 2:
+			n := 1 + rng.Intn(100)
+			if off+int64(n) > o.Size() {
+				off = o.Size() - int64(n)
+			}
+			if err := o.Replace(off, pattern(i, n)); err != nil {
+				t.Fatal(err)
+			}
+			assert("replace")
+		default:
+			if _, err := o.Read(0, o.Size()); err != nil {
+				t.Fatal(err)
+			}
+			assert("read")
+		}
+	}
+	if err := o.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	assert("destroy")
+}
+
+// TestInsertAddsAtMostTwoEntries verifies §4.3.1: "unless Nc is larger
+// than the maximum segment size, the algorithm will add at most two new
+// entries in the parent of the leaf segment" — one segment becomes at
+// most three (L, N, R).
+func TestInsertAddsAtMostTwoEntries(t *testing.T) {
+	e := newEnv(t, 100, 8, 256, Config{Threshold: 1}) // no page reshuffle
+	o := e.m.NewObject(0)
+	if err := o.AppendWithHint(pattern(1, 10000), 10000); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		before, err := o.segmentList()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Small insert: Nc is far below the maximum segment size.
+		off := int64(rng.Intn(int(o.Size())))
+		if err := o.Insert(off, pattern(i, 50)); err != nil {
+			t.Fatal(err)
+		}
+		after, err := o.segmentList()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after)-len(before) > 2 {
+			t.Fatalf("insert %d added %d entries (want <= 2)", i, len(after)-len(before))
+		}
+	}
+}
+
+// TestDeleteCanAddEntries verifies the paper's observation that "unlike
+// the B-tree algorithms ... a partial segment delete may create new
+// entries": deleting the middle of one segment yields up to three.
+func TestDeleteCanAddEntries(t *testing.T) {
+	e := newEnv(t, 100, 8, 256, Config{Threshold: 1})
+	o := e.m.NewObject(0)
+	if err := o.AppendWithHint(pattern(2, 2000), 2000); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := o.segmentList()
+	if len(before) != 1 {
+		t.Fatalf("setup: %d segments", len(before))
+	}
+	// Delete strictly inside the single segment, not page-aligned.
+	if err := o.Delete(550, 433); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := o.segmentList()
+	if len(after) < 2 || len(after) > 3 {
+		t.Errorf("segments after interior delete = %d, want 2..3", len(after))
+	}
+	mustCheck(t, o)
+}
+
+// TestInsertAtMaxSegmentBoundary: inserting exactly a maximum segment's
+// worth of bytes keeps every invariant.
+func TestInsertAtMaxSegmentBoundary(t *testing.T) {
+	e := newEnv(t, 100, 8, 256, Config{Threshold: 1})
+	maxSegBytes := e.m.alloc.MaxSegmentPages() * 100
+	o := e.m.NewObject(0)
+	model := pattern(3, 1000)
+	if err := o.Append(model); err != nil {
+		t.Fatal(err)
+	}
+	big := pattern(4, maxSegBytes)
+	if err := o.Insert(500, big); err != nil {
+		t.Fatal(err)
+	}
+	model = append(model[:500:500], append(append([]byte{}, big...), model[500:]...)...)
+	mustContent(t, o, model)
+	mustCheck(t, o)
+}
+
+// TestSingleByteObject: the smallest possible object exercises every
+// boundary in the arithmetic.
+func TestSingleByteObject(t *testing.T) {
+	e := newEnv(t, 100, 2, 256, Config{Threshold: 4})
+	o := e.m.NewObject(0)
+	if err := o.Append([]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(0, 1)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("read = %v, %v", got, err)
+	}
+	if err := o.Replace(0, []byte{43}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Insert(1, []byte{44}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Insert(0, []byte{41}); err != nil {
+		t.Fatal(err)
+	}
+	mustContent(t, o, []byte{41, 43, 44})
+	if err := o.Delete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustContent(t, o, []byte{41, 44})
+	if err := o.Delete(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 0 {
+		t.Errorf("size = %d", o.Size())
+	}
+	mustCheck(t, o)
+}

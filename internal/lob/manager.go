@@ -1,0 +1,341 @@
+package lob
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/eosdb/eos/internal/buffer"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// Allocator is the disk space service the large object manager consumes —
+// in EOS, the binary buddy system.  AllocUpTo supports graceful
+// degradation when no contiguous run of the requested size exists.
+type Allocator interface {
+	// Alloc allocates exactly n physically contiguous pages.
+	Alloc(n int) (disk.PageNum, error)
+	// AllocUpTo allocates between 1 and n contiguous pages, as many as
+	// available in one run.
+	AllocUpTo(n int) (disk.PageNum, int, error)
+	// Free returns any sub-range of previously allocated pages.
+	Free(p disk.PageNum, n int) error
+	// MaxSegmentPages reports the largest possible single allocation.
+	MaxSegmentPages() int
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Threshold is the default segment size threshold T in pages (§4.4):
+	// two logically adjacent segments, one of which has fewer than T
+	// pages, must not hold bytes that could be stored in one segment.
+	// Threshold 1 disables page reshuffling.
+	Threshold int
+	// MaxRootEntries bounds the root held in the object descriptor
+	// (clients "may pass a parameter to EOS restricting the maximum size
+	// of the root").
+	MaxRootEntries int
+	// ShadowIndexPages makes every index node update write a fresh page
+	// and free the old one, so insert/delete/append never overwrite
+	// existing pages (§4.5); replace remains the only in-place update.
+	ShadowIndexPages bool
+	// AdaptiveThreshold enables the [Bili91a] extension: the effective T
+	// for an update grows with the fan-out of the leaf's parent node, and
+	// a nearly full parent compacts its unsafe adjacent segments instead
+	// of splitting.
+	AdaptiveThreshold bool
+	// OnDataWrite, when set, observes every direct data-page write the
+	// manager performs (segment writes, tail appends, in-place
+	// replacements).  The transaction layer installs it to track each
+	// transaction's write set for targeted forcing at commit and abort.
+	OnDataWrite func(start disk.PageNum, pages int)
+}
+
+// Stats counts manager activity for the experiments.
+type Stats struct {
+	Appends            int64
+	Reads              int64
+	Replaces           int64
+	Inserts            int64
+	Deletes            int64
+	SegmentsAllocated  int64
+	SegmentsFreed      int64
+	BytesReshuffled    int64 // bytes moved between segments by reshuffling
+	PagesReshuffled    int64 // whole pages moved by the threshold mechanism
+	NodeSplits         int64
+	NodeMerges         int64
+	LeafCompactions    int64 // [Bili91a] whole-node compactions
+	SegmentsCompacted  int64
+	ShadowedIndexPages int64
+}
+
+// Manager provides large object storage over a volume, a buffer pool for
+// index pages, and an allocator.  Leaf segments bypass the pool: they are
+// transferred with direct multi-page volume I/O.
+type Manager struct {
+	vol   *disk.Volume
+	pool  *buffer.Pool
+	alloc Allocator
+	cfg   Config
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewManager validates cfg and creates a manager.
+func NewManager(vol *disk.Volume, pool *buffer.Pool, alloc Allocator, cfg Config) (*Manager, error) {
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	if cfg.Threshold > alloc.MaxSegmentPages() {
+		return nil, fmt.Errorf("%w: threshold %d exceeds max segment %d", ErrBadConfig, cfg.Threshold, alloc.MaxSegmentPages())
+	}
+	if maxFanout(vol.PageSize()) < 4 {
+		return nil, fmt.Errorf("%w: page size %d holds fewer than 4 index entries", ErrBadConfig, vol.PageSize())
+	}
+	if cfg.MaxRootEntries == 0 {
+		cfg.MaxRootEntries = maxFanout(vol.PageSize())
+	}
+	if cfg.MaxRootEntries < 2 {
+		return nil, fmt.Errorf("%w: max root entries %d < 2", ErrBadConfig, cfg.MaxRootEntries)
+	}
+	return &Manager{vol: vol, pool: pool, alloc: alloc, cfg: cfg}, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// PageSize returns the underlying volume page size.
+func (m *Manager) PageSize() int { return m.vol.PageSize() }
+
+// Stats returns a snapshot of activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) count(f func(*Stats)) {
+	m.mu.Lock()
+	f(&m.stats)
+	m.mu.Unlock()
+}
+
+// ---- node I/O ----
+
+// readNode loads an index node from its page via the buffer pool.
+func (m *Manager) readNode(p disk.PageNum) (*node, error) {
+	img, err := m.pool.Fix(p)
+	if err != nil {
+		return nil, err
+	}
+	defer m.pool.Unpin(p)
+	return decodeNode(img)
+}
+
+// writeNode persists n.  With shadowing enabled an update of an existing
+// node allocates a fresh page and frees the old one (deferred to commit
+// when the allocator is transactional); otherwise the node is written in
+// place.  It returns the page now holding the node.
+func (m *Manager) writeNode(old disk.PageNum, n *node) (disk.PageNum, error) {
+	page := old
+	if page == 0 || m.cfg.ShadowIndexPages {
+		var err error
+		page, err = m.alloc.Alloc(1)
+		if err != nil {
+			return 0, err
+		}
+		if old != 0 {
+			if err := m.alloc.Free(old, 1); err != nil {
+				return 0, err
+			}
+			m.count(func(s *Stats) { s.ShadowedIndexPages++ })
+		}
+	}
+	img, err := m.pool.FixNew(page)
+	if err != nil {
+		return 0, err
+	}
+	defer m.pool.Unpin(page)
+	if err := encodeNode(n, img); err != nil {
+		return 0, err
+	}
+	return page, nil
+}
+
+// freeNodePage returns an index page to the allocator.
+func (m *Manager) freeNodePage(p disk.PageNum) error {
+	m.pool.Discard(p)
+	return m.alloc.Free(p, 1)
+}
+
+// ---- segment I/O ----
+
+// readSegRange reads bytes [off, off+n) of the segment whose data pages
+// start at page start, in a single multi-page request.
+func (m *Manager) readSegRange(start disk.PageNum, off int64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	ps := int64(m.vol.PageSize())
+	firstPage := off / ps
+	lastPage := (off + int64(len(buf)) - 1) / ps
+	npages := int(lastPage - firstPage + 1)
+	raw := make([]byte, npages*m.vol.PageSize())
+	if err := m.vol.ReadPages(start+disk.PageNum(firstPage), npages, raw); err != nil {
+		return err
+	}
+	copy(buf, raw[off-firstPage*ps:])
+	return nil
+}
+
+// writeSegment writes data as a fresh segment starting at page start,
+// zero-padding the final partial page.  Fresh segments are written whole,
+// never read first.
+func (m *Manager) writeSegment(start disk.PageNum, data []byte) error {
+	ps := m.vol.PageSize()
+	npages := pagesFor(int64(len(data)), ps)
+	if npages == 0 {
+		return nil
+	}
+	raw := make([]byte, npages*ps)
+	copy(raw, data)
+	if m.cfg.OnDataWrite != nil {
+		m.cfg.OnDataWrite(start, npages)
+	}
+	return m.vol.WritePages(start, npages, raw)
+}
+
+// allocSegments allocates segments to hold total bytes, preferring a
+// single run but splitting across runs (and capping at the maximum
+// segment size) as needed.  It returns the segment entries in order.
+func (m *Manager) allocSegments(total int64) ([]entry, error) {
+	ps := int64(m.vol.PageSize())
+	var out []entry
+	remaining := total
+	for remaining > 0 {
+		wantPages := pagesFor(remaining, int(ps))
+		start, got, err := m.alloc.AllocUpTo(wantPages)
+		if err != nil {
+			// Roll back partial allocations.
+			for _, e := range out {
+				m.alloc.Free(e.ptr, pagesFor(e.bytes, int(ps)))
+			}
+			return nil, err
+		}
+		bytes := int64(got) * ps
+		if bytes > remaining {
+			bytes = remaining
+		}
+		out = append(out, entry{bytes: bytes, ptr: start})
+		// Trim the run if we got more pages than the bytes need (only
+		// possible on the final run).
+		used := pagesFor(bytes, int(ps))
+		if used < got {
+			if err := m.alloc.Free(start+disk.PageNum(used), got-used); err != nil {
+				return nil, err
+			}
+		}
+		remaining -= bytes
+		m.count(func(s *Stats) { s.SegmentsAllocated++ })
+	}
+	return out, nil
+}
+
+// freeSegment returns a whole segment's pages.
+func (m *Manager) freeSegment(start disk.PageNum, bytes int64) error {
+	n := pagesFor(bytes, m.vol.PageSize())
+	if n == 0 {
+		return nil
+	}
+	m.count(func(s *Stats) { s.SegmentsFreed++ })
+	return m.alloc.Free(start, n)
+}
+
+// freeSubtree releases every page below an entry at the given level:
+// leaf segments directly from their parent entries — the paper's
+// observation that subtree deletion never touches a data page — and index
+// pages recursively.
+func (m *Manager) freeSubtree(e entry, level int) error {
+	if level == 1 {
+		return m.freeSegment(e.ptr, e.bytes)
+	}
+	child, err := m.readNode(e.ptr)
+	if err != nil {
+		return err
+	}
+	for _, ce := range child.entries {
+		if err := m.freeSubtree(ce, child.level); err != nil {
+			return err
+		}
+	}
+	return m.freeNodePage(e.ptr)
+}
+
+// ---- descriptor ----
+
+// Descriptor is the persistent form of a large object: its root node plus
+// growth bookkeeping.  EOS manages the descriptor's internals but leaves
+// its placement to the client (a catalog page, or a field of a small
+// record to implement long fields).
+const (
+	descMagic      = 0xE05D0C01
+	descHeaderSize = 40
+)
+
+// EncodeDescriptor serializes an object's root and growth state.
+func (o *Object) EncodeDescriptor() []byte {
+	buf := make([]byte, descHeaderSize+len(o.root.entries)*entrySize)
+	binary.BigEndian.PutUint32(buf[0:], descMagic)
+	buf[4] = 1 // version
+	buf[5] = uint8(o.root.level)
+	binary.BigEndian.PutUint32(buf[8:], uint32(o.threshold))
+	binary.BigEndian.PutUint32(buf[12:], uint32(o.nextGrow))
+	binary.BigEndian.PutUint64(buf[16:], uint64(o.tailStart))
+	binary.BigEndian.PutUint32(buf[24:], uint32(o.tailAlloc))
+	binary.BigEndian.PutUint64(buf[28:], uint64(o.lsn))
+	binary.BigEndian.PutUint32(buf[36:], uint32(len(o.root.entries)))
+	var cum int64
+	off := descHeaderSize
+	for _, e := range o.root.entries {
+		cum += e.bytes
+		binary.BigEndian.PutUint64(buf[off:], uint64(cum))
+		binary.BigEndian.PutUint64(buf[off+8:], uint64(e.ptr))
+		off += entrySize
+	}
+	return buf
+}
+
+// OpenDescriptor reconstructs an object handle from a descriptor.
+func (m *Manager) OpenDescriptor(data []byte) (*Object, error) {
+	if len(data) < descHeaderSize || binary.BigEndian.Uint32(data[0:]) != descMagic {
+		return nil, fmt.Errorf("%w: bad descriptor", ErrCorruptNode)
+	}
+	count := int(binary.BigEndian.Uint32(data[36:]))
+	if descHeaderSize+count*entrySize > len(data) {
+		return nil, fmt.Errorf("%w: truncated descriptor", ErrCorruptNode)
+	}
+	o := &Object{
+		m:         m,
+		root:      &node{level: int(data[5])},
+		threshold: int(binary.BigEndian.Uint32(data[8:])),
+		nextGrow:  int(binary.BigEndian.Uint32(data[12:])),
+		tailStart: disk.PageNum(binary.BigEndian.Uint64(data[16:])),
+		tailAlloc: int(binary.BigEndian.Uint32(data[24:])),
+		lsn:       binary.BigEndian.Uint64(data[28:]),
+	}
+	var prev int64
+	off := descHeaderSize
+	for i := 0; i < count; i++ {
+		cum := int64(binary.BigEndian.Uint64(data[off:]))
+		ptr := disk.PageNum(binary.BigEndian.Uint64(data[off+8:]))
+		if cum <= prev {
+			return nil, fmt.Errorf("%w: non-increasing descriptor counts", ErrCorruptNode)
+		}
+		o.root.entries = append(o.root.entries, entry{bytes: cum - prev, ptr: ptr})
+		prev = cum
+		off += entrySize
+	}
+	o.size = prev
+	return o, nil
+}

@@ -1,0 +1,169 @@
+package lob
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestReshuffleConservation: reshuffling moves bytes between L, N, and R
+// but never creates or destroys them, and the moves are consistent with
+// the final counts.
+func TestReshuffleConservation(t *testing.T) {
+	const ps = 100
+	f := func(l16, n16, r16 uint16, t8 uint8) bool {
+		lc := int64(l16 % 2000)
+		nc := int64(n16%2000) + 1 // N nonempty (callers skip Nc == 0)
+		rc := int64(r16 % 2000)
+		T := int(t8%16) + 1
+		maxSegBytes := int64(128 * ps)
+		res := reshuffle(lc, nc, rc, T, ps, maxSegBytes)
+		if res.lc+res.nc+res.rc != lc+nc+rc {
+			return false
+		}
+		if res.moveL != lc-res.lc || res.moveR != rc-res.rc {
+			return false
+		}
+		if res.moveL < 0 || res.moveR < 0 || res.lc < 0 || res.rc < 0 {
+			return false
+		}
+		// Surviving R loses only whole pages (its prefix pages are full),
+		// so the remainder stays consistent with in-place page retention.
+		if res.rc > 0 && res.moveR%int64(ps) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReshuffleThresholdInvariant: after page reshuffling, no unsafe
+// segment survives next to N unless merging would exceed the maximum
+// segment size.
+func TestReshuffleThresholdInvariant(t *testing.T) {
+	const ps = 100
+	f := func(l16, n16, r16 uint16, t8 uint8) bool {
+		lc := int64(l16 % 3000)
+		nc := int64(n16%3000) + 1
+		rc := int64(r16 % 3000)
+		T := int(t8%8) + 2
+		maxSegBytes := int64(128 * ps)
+		res := reshuffle(lc, nc, rc, T, ps, maxSegBytes)
+		unsafe := func(c int64) bool { return c > 0 && pagesFor(c, ps) < T }
+		// The threshold phase (3.1-3.3) runs before byte reshuffling
+		// (3.4), which may still shave L's partial last page -- up to one
+		// page -- without a re-check, exactly as the paper specifies.  So:
+		//
+		//   R unsafe => merging it was blocked by the max-segment cap
+		//               (3.4 absorbs a one-page R fully or not at all,
+		//               so it never newly makes R unsafe);
+		//   L unsafe => the cap blocked it, or it is within one page of
+		//               safe (a 3.4 byte move's worth);
+		//   N unsafe => a neighbour has been drained or was absent
+		//               (N only ever grows).
+		if unsafe(res.rc) && res.rc+res.nc <= maxSegBytes {
+			return false
+		}
+		if unsafe(res.lc) && res.lc+res.nc <= maxSegBytes &&
+			pagesFor(res.lc, ps) < T-1 {
+			return false
+		}
+		if unsafe(res.nc) && res.lc > 0 && res.rc > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestByteReshuffleEliminatesPartialPages reproduces the §4.3.1 step 3
+// cases directly.
+func TestByteReshuffleCases(t *testing.T) {
+	const ps = 100
+	cases := []struct {
+		name       string
+		lc, nc, rc int64
+		wantMoveL  int64
+		wantMoveR  int64
+	}{
+		// L's partial last page (30 bytes) fits N's last page (40 used):
+		// eliminate it.
+		{"absorb L tail", 230, 140, 0, 30, 0},
+		// Single-page R (50 bytes) fits N's last page: absorb R.
+		{"absorb single-page R", 0, 140, 50, 0, 50},
+		// Both fit together (30 + 20 + 40 <= 100): move both.
+		{"absorb both", 230, 140, 20, 30, 20},
+		// Neither fits: balance L and N's last pages (90 vs 40 -> move 25).
+		{"balance", 290, 140, 0, 25, 0},
+		// N's last page exactly full: nothing moves.
+		{"N full", 230, 200, 150, 0, 0},
+	}
+	for _, c := range cases {
+		res := reshuffle(c.lc, c.nc, c.rc, 1, ps, 1<<20)
+		if res.moveL != c.wantMoveL || res.moveR != c.wantMoveR {
+			t.Errorf("%s: moves = (%d,%d), want (%d,%d)",
+				c.name, res.moveL, res.moveR, c.wantMoveL, c.wantMoveR)
+		}
+	}
+}
+
+// TestPageReshuffleMergesUnsafeNeighbour reproduces §4.4 step 3.2: an
+// unsafe neighbour merges into N entirely.
+func TestPageReshuffleMergesUnsafeNeighbour(t *testing.T) {
+	const ps = 100
+	// L = 2 pages (unsafe at T=4), N = 1 page, R = 10 pages (safe).
+	res := reshuffle(200, 100, 1000, 4, ps, 1<<20)
+	if res.lc != 0 {
+		t.Errorf("unsafe L not fully merged: lc = %d", res.lc)
+	}
+	if pagesFor(res.nc, ps) < 4 && res.rc > 0 {
+		t.Errorf("N still unsafe (%d bytes) with R available", res.nc)
+	}
+}
+
+// TestPageReshuffleFeedsUnsafeN reproduces §4.4 step 3.3: a safe
+// neighbour donates pages until N is safe.
+func TestPageReshuffleFeedsUnsafeN(t *testing.T) {
+	const ps = 100
+	// L and R both safe (6 pages each); N = 1 page, T = 4.
+	res := reshuffle(600, 100, 600, 4, ps, 1<<20)
+	if pagesFor(res.nc, ps) < 4 {
+		t.Errorf("N not made safe: %d bytes", res.nc)
+	}
+	// The donor was one of the neighbours; totals conserved.
+	if res.lc+res.nc+res.rc != 1300 {
+		t.Error("bytes not conserved")
+	}
+}
+
+// TestPageReshuffleRespectsMaxSegment reproduces §4.4 rule 3.1c: when
+// merging would exceed the maximum segment, fall through to byte
+// reshuffling.
+func TestPageReshuffleRespectsMaxSegment(t *testing.T) {
+	const ps = 100
+	maxSegBytes := int64(10 * ps)
+	// L unsafe (2 pages of a T=4 world) but N is at 9.5 pages: merging
+	// 200 + 950 > 1000 overflows.
+	res := reshuffle(200, 950, 0, 4, ps, maxSegBytes)
+	if res.nc > maxSegBytes {
+		t.Errorf("N exceeded max segment: %d", res.nc)
+	}
+	if res.lc == 0 {
+		t.Error("L was merged despite the max segment cap")
+	}
+}
+
+func TestLastPageBytes(t *testing.T) {
+	cases := []struct {
+		c    int64
+		want int64
+	}{{0, 0}, {1, 1}, {99, 99}, {100, 100}, {101, 1}, {250, 50}}
+	for _, c := range cases {
+		if got := lastPageBytes(c.c, 100); got != c.want {
+			t.Errorf("lastPageBytes(%d) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lob
+
+import "github.com/eosdb/eos/internal/disk"
+
+// The search operation (§4.2) locates byte B by binary-searching the
+// counts on the path from the root; at the leaf, byte B within segment S
+// is in page S + floor(B/PS), and a range confined to one segment is
+// transferred in a single multi-page request — the payoff of physical
+// contiguity.
+
+// segmentVisitor receives each (segment, in-segment offset, length)
+// triple covering a byte range, in logical order.
+type segmentVisitor func(seg entry, segOff int64, n int64) error
+
+// walkRange visits the segments covering [off, off+n) of nd's subtree.
+func (m *Manager) walkRange(nd *node, off, n int64, visit segmentVisitor) error {
+	var cum int64
+	for _, e := range nd.entries {
+		if n == 0 {
+			return nil
+		}
+		start, end := cum, cum+e.bytes
+		cum = end
+		if off >= end {
+			continue
+		}
+		take := end - off
+		if take > n {
+			take = n
+		}
+		if nd.level == 1 {
+			if err := visit(e, off-start, take); err != nil {
+				return err
+			}
+		} else {
+			child, err := m.readNode(e.ptr)
+			if err != nil {
+				return err
+			}
+			if err := m.walkRange(child, off-start, take, visit); err != nil {
+				return err
+			}
+		}
+		off += take
+		n -= take
+	}
+	return nil
+}
+
+// ReadAt reads len(buf) bytes starting at byte off into buf.
+func (o *Object) ReadAt(buf []byte, off int64) error {
+	if err := o.checkRange(off, int64(len(buf))); err != nil {
+		return err
+	}
+	o.m.count(func(s *Stats) { s.Reads++ })
+	pos := 0
+	return o.m.walkRange(o.root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
+		if err := o.m.readSegRange(seg.ptr, segOff, buf[pos:pos+int(n)]); err != nil {
+			return err
+		}
+		pos += int(n)
+		return nil
+	})
+}
+
+// Read returns n bytes starting at off.
+func (o *Object) Read(off, n int64) ([]byte, error) {
+	if err := o.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if err := o.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Replace overwrites len(data) bytes starting at off with data.  Replace
+// modifies leaf pages in place without touching any index node — the one
+// EOS update that is logged rather than shadowed (§4.5).
+func (o *Object) Replace(off int64, data []byte) error {
+	if err := o.checkRange(off, int64(len(data))); err != nil {
+		return err
+	}
+	o.m.count(func(s *Stats) { s.Replaces++ })
+	pos := int64(0)
+	return o.m.walkRange(o.root, off, int64(len(data)), func(seg entry, segOff, n int64) error {
+		err := o.m.replaceInSegment(seg, segOff, data[pos:pos+n])
+		pos += n
+		return err
+	})
+}
+
+// Extent is a physical location of object bytes: Len bytes starting Off
+// bytes into volume page Page.
+type Extent struct {
+	Page disk.PageNum
+	Off  int
+	Len  int
+}
+
+// RangeExtents maps the logical byte range [off, off+n) to its physical
+// page extents, in order.  The transaction layer logs a replace's
+// extents so that recovery can physically undo uncommitted in-place
+// writes that reached the disk.
+func (o *Object) RangeExtents(off, n int64) ([]Extent, error) {
+	if err := o.checkRange(off, n); err != nil {
+		return nil, err
+	}
+	ps := int64(o.m.vol.PageSize())
+	var out []Extent
+	err := o.m.walkRange(o.root, off, n, func(seg entry, segOff, take int64) error {
+		for take > 0 {
+			page := seg.ptr + disk.PageNum(segOff/ps)
+			inPage := segOff % ps
+			l := ps - inPage
+			if l > take {
+				l = take
+			}
+			out = append(out, Extent{Page: page, Off: int(inPage), Len: int(l)})
+			segOff += l
+			take -= l
+		}
+		return nil
+	})
+	return out, err
+}
+
+// replaceInSegment rewrites bytes [segOff, segOff+len(data)) of one
+// segment: boundary pages are read-modified, interior pages overwritten
+// outright, and the whole affected page run is written back in a single
+// contiguous request.
+func (m *Manager) replaceInSegment(seg entry, segOff int64, data []byte) error {
+	ps := int64(m.vol.PageSize())
+	first := segOff / ps
+	last := (segOff + int64(len(data)) - 1) / ps
+	npages := int(last - first + 1)
+	raw := make([]byte, npages*int(ps))
+
+	headPartial := segOff%ps != 0
+	tailPartial := (segOff+int64(len(data)))%ps != 0
+	if headPartial || (tailPartial && last == first) {
+		if err := m.vol.ReadPages(seg.ptr+disk.PageNum(first), 1, raw[:ps]); err != nil {
+			return err
+		}
+	}
+	if tailPartial && last != first {
+		if err := m.vol.ReadPages(seg.ptr+disk.PageNum(last), 1, raw[(npages-1)*int(ps):]); err != nil {
+			return err
+		}
+	}
+	copy(raw[segOff-first*ps:], data)
+	if m.cfg.OnDataWrite != nil {
+		m.cfg.OnDataWrite(seg.ptr+disk.PageNum(first), npages)
+	}
+	return m.vol.WritePages(seg.ptr+disk.PageNum(first), npages, raw)
+}

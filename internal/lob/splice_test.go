@@ -1,0 +1,127 @@
+package lob
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func TestSplitEntriesBalance(t *testing.T) {
+	mk := func(n int) []entry {
+		out := make([]entry, n)
+		for i := range out {
+			out[i] = entry{bytes: int64(i + 1), ptr: disk.PageNum(i + 100)}
+		}
+		return out
+	}
+	cases := []struct {
+		n, max    int
+		wantParts int
+	}{
+		{5, 5, 1}, {6, 5, 2}, {10, 5, 2}, {11, 5, 3}, {16, 5, 4}, {1, 5, 1},
+	}
+	for _, c := range cases {
+		parts := splitEntries(mk(c.n), c.max)
+		if len(parts) != c.wantParts {
+			t.Errorf("splitEntries(%d,%d): %d parts, want %d", c.n, c.max, len(parts), c.wantParts)
+			continue
+		}
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+			if len(p) > c.max {
+				t.Errorf("splitEntries(%d,%d): part of %d > max", c.n, c.max, len(p))
+			}
+			if c.wantParts > 1 && len(p) < c.max/2 {
+				t.Errorf("splitEntries(%d,%d): part of %d below half", c.n, c.max, len(p))
+			}
+		}
+		if total != c.n {
+			t.Errorf("splitEntries(%d,%d): entries lost", c.n, c.max)
+		}
+	}
+}
+
+func TestSplitEntriesQuick(t *testing.T) {
+	f := func(n8, max8 uint8) bool {
+		n := int(n8)%200 + 1
+		max := int(max8)%20 + 4
+		entries := make([]entry, n)
+		for i := range entries {
+			entries[i] = entry{bytes: 1, ptr: disk.PageNum(i)}
+		}
+		parts := splitEntries(entries, max)
+		total, idx := 0, 0
+		for _, p := range parts {
+			if len(p) == 0 || len(p) > max {
+				return false
+			}
+			// Order preserved.
+			for _, e := range p {
+				if e.ptr != disk.PageNum(idx) {
+					return false
+				}
+				idx++
+			}
+			total += len(p)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSplice(t *testing.T) {
+	n := &node{level: 1, entries: []entry{
+		{10, 1}, {20, 2}, {30, 3}, {40, 4},
+	}}
+	n.splice(1, 3, []entry{{99, 9}})
+	if len(n.entries) != 3 || n.entries[1].ptr != 9 || n.entries[2].ptr != 4 {
+		t.Errorf("splice result: %+v", n.entries)
+	}
+	// Empty replacement removes.
+	n.splice(0, 1, nil)
+	if len(n.entries) != 2 || n.entries[0].ptr != 9 {
+		t.Errorf("removal result: %+v", n.entries)
+	}
+	// Pure insertion.
+	n.splice(1, 1, []entry{{5, 5}, {6, 6}})
+	if len(n.entries) != 4 || n.entries[1].ptr != 5 || n.entries[2].ptr != 6 {
+		t.Errorf("insertion result: %+v", n.entries)
+	}
+	if n.size() != 99+5+6+40 {
+		t.Errorf("size = %d", n.size())
+	}
+}
+
+// TestQuickNodeCodec: encode/decode round-trips arbitrary valid nodes.
+func TestQuickNodeCodec(t *testing.T) {
+	f := func(level8 uint8, lens []uint16) bool {
+		if len(lens) == 0 || len(lens) > 15 {
+			return true
+		}
+		n := &node{level: int(level8)%6 + 1}
+		for i, l := range lens {
+			n.entries = append(n.entries, entry{bytes: int64(l) + 1, ptr: disk.PageNum(i*7 + 3)})
+		}
+		img := make([]byte, 256)
+		if err := encodeNode(n, img); err != nil {
+			return true // too many entries for the page: fine
+		}
+		got, err := decodeNode(img)
+		if err != nil || got.level != n.level || len(got.entries) != len(n.entries) {
+			return false
+		}
+		for i := range n.entries {
+			if got.entries[i] != n.entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

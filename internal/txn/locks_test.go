@@ -1,0 +1,160 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func table() *LockTable { return NewLockTable(200 * time.Millisecond) }
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lt := table()
+	for txn := uint64(1); txn <= 3; txn++ {
+		if err := lt.LockObject(txn, 7, Shared); err != nil {
+			t.Fatalf("txn %d: %v", txn, err)
+		}
+	}
+	if lt.Held(1) != 1 || lt.Held(3) != 1 {
+		t.Error("shared locks not all granted")
+	}
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	lt := table()
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lt.LockObject(2, 7, Shared)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) < 150*time.Millisecond {
+		t.Error("timed out too early")
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	lt := table()
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- lt.LockObject(2, 7, Exclusive)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lt.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+}
+
+func TestRangeLocksDisjointCoexist(t *testing.T) {
+	lt := table()
+	if err := lt.LockRange(1, 7, Exclusive, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.LockRange(2, 7, Exclusive, 100, 200); err != nil {
+		t.Fatalf("disjoint range blocked: %v", err)
+	}
+	if err := lt.LockRange(3, 7, Exclusive, 50, 150); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("overlapping range granted: %v", err)
+	}
+}
+
+func TestObjectLockBlocksRanges(t *testing.T) {
+	lt := table()
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.LockRange(2, 7, Shared, 0, 10); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("range granted under object X lock: %v", err)
+	}
+}
+
+func TestReentrantLocks(t *testing.T) {
+	lt := table()
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatalf("re-lock by holder: %v", err)
+	}
+	if err := lt.LockRange(1, 7, Shared, 5, 10); err != nil {
+		t.Fatalf("sub-range by holder: %v", err)
+	}
+	if lt.Held(1) != 1 {
+		t.Errorf("held = %d, want 1 (re-entrant no-ops)", lt.Held(1))
+	}
+}
+
+func TestInvalidRange(t *testing.T) {
+	lt := table()
+	if err := lt.LockRange(1, 7, Shared, 10, 10); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := lt.LockRange(1, 7, Shared, -1, 10); err == nil {
+		t.Error("negative range accepted")
+	}
+}
+
+func TestFIFOOrderingPreventsStarvation(t *testing.T) {
+	lt := NewLockTable(2 * time.Second)
+	if err := lt.LockObject(1, 7, Shared); err != nil {
+		t.Fatal(err)
+	}
+	var writerDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer arrives first
+		defer wg.Done()
+		if err := lt.LockObject(2, 7, Exclusive); err != nil {
+			t.Errorf("writer: %v", err)
+		}
+		writerDone.Store(true)
+		lt.ReleaseAll(2)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() { // later reader must queue behind the writer
+		defer wg.Done()
+		if err := lt.LockObject(3, 7, Shared); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+		if !writerDone.Load() {
+			t.Error("reader overtook the queued writer")
+		}
+		lt.ReleaseAll(3)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	lt.ReleaseAll(1)
+	wg.Wait()
+}
+
+func TestConcurrentStress(t *testing.T) {
+	lt := NewLockTable(5 * time.Second)
+	var counter int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := lt.LockObject(id, 1, Exclusive); err != nil {
+					t.Errorf("txn %d: %v", id, err)
+					return
+				}
+				v := atomic.AddInt64(&counter, 1)
+				if v != 1 {
+					t.Errorf("mutual exclusion violated: %d", v)
+				}
+				atomic.AddInt64(&counter, -1)
+				lt.ReleaseAll(id)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,81 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLockUpgradeSToX(t *testing.T) {
+	lt := NewLockTable(100 * time.Millisecond)
+	if err := lt.LockObject(1, 7, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole holder upgrades without conflict.
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Fatalf("upgrade by sole holder: %v", err)
+	}
+	// A second reader is now blocked.
+	if err := lt.LockObject(2, 7, Shared); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("reader under upgraded X: %v", err)
+	}
+	lt.ReleaseAll(1)
+}
+
+func TestLockUpgradeBlockedByOtherReader(t *testing.T) {
+	lt := NewLockTable(100 * time.Millisecond)
+	if err := lt.LockObject(1, 7, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.LockObject(2, 7, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade must wait for the other reader (and times out here).
+	if err := lt.LockObject(1, 7, Exclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("upgrade with concurrent reader: %v", err)
+	}
+	lt.ReleaseAll(2)
+	if err := lt.LockObject(1, 7, Exclusive); err != nil {
+		t.Errorf("upgrade after reader left: %v", err)
+	}
+}
+
+func TestRangeLockSuffixSemantics(t *testing.T) {
+	lt := NewLockTable(80 * time.Millisecond)
+	// Suffix lock [1000, MaxRange) models a structural update at 1000.
+	if err := lt.LockRange(1, 7, Exclusive, 1000, MaxRange); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.LockRange(2, 7, Shared, 0, 1000); err != nil {
+		t.Errorf("prefix read blocked: %v", err)
+	}
+	if err := lt.LockRange(3, 7, Shared, 999, 1001); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("straddling read granted: %v", err)
+	}
+	if err := lt.LockRange(4, 7, Exclusive, 5000, MaxRange); !errors.Is(err, ErrLockTimeout) {
+		t.Errorf("second suffix granted: %v", err)
+	}
+}
+
+func BenchmarkLockUnlockUncontended(b *testing.B) {
+	lt := NewLockTable(time.Second)
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%64 + 1)
+		if err := lt.LockObject(id, uint64(i%8), Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		lt.ReleaseAll(id)
+	}
+}
+
+func BenchmarkRangeLockDisjoint(b *testing.B) {
+	lt := NewLockTable(time.Second)
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%64 + 1)
+		lo := int64(i%1024) * 100
+		if err := lt.LockRange(id, 1, Exclusive, lo, lo+100); err != nil {
+			b.Fatal(err)
+		}
+		lt.ReleaseAll(id)
+	}
+}

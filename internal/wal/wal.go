@@ -1,0 +1,340 @@
+// Package wal implements the write-ahead log for EOS recovery (§4.5).
+//
+// The paper's recovery design pairs two mechanisms: replace operations are
+// logged (they modify leaf pages in place without touching index nodes),
+// while insert, delete, and append shadow the index pages they modify and
+// never overwrite existing leaf pages.  Because no control information is
+// kept on leaf segments, "the log record of all updates must contain the
+// operation that caused the update as well as its parameters, and the log
+// sequence number of the update must be placed in the root page of the
+// object to ensure that the update can be undone or redone idempotently."
+//
+// The log lives on its own volume (a separate log disk, as is
+// conventional) and is an append-only sequence of length-prefixed,
+// checksummed records.  LSNs are byte offsets into the log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// RecType identifies a log record.
+type RecType uint8
+
+// Log record types: transaction control plus one per logical operation.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecCreate   // object created
+	RecDestroy  // object destroyed
+	RecAppend   // Data appended at the end
+	RecInsert   // Data inserted at Off
+	RecDelete   // N bytes deleted at Off; OldData holds them for undo
+	RecReplace  // Data written at Off; OldData holds the previous bytes
+	RecTruncate // object truncated to Off; OldData holds the cut tail
+	RecCheckpoint
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "begin"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecCreate:
+		return "create"
+	case RecDestroy:
+		return "destroy"
+	case RecAppend:
+		return "append"
+	case RecInsert:
+		return "insert"
+	case RecDelete:
+		return "delete"
+	case RecReplace:
+		return "replace"
+	case RecTruncate:
+		return "truncate"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// Extent is a physical byte range on the data volume: Len bytes starting
+// Off bytes into page Page.  Replace records carry the extents they
+// overwrote so that recovery can physically undo a loser transaction's
+// in-place writes — the other operations never overwrite live pages and
+// need no undo (§4.5).
+type Extent struct {
+	Page int64
+	Off  int32
+	Len  int32
+}
+
+// Record is one log entry.  Data and OldData carry the operation's bytes:
+// Data is what redo needs, OldData what undo needs.
+type Record struct {
+	LSN     uint64 // assigned by Append; byte offset in the log
+	Txn     uint64
+	Type    RecType
+	Object  uint64
+	Off     int64
+	N       int64
+	Data    []byte
+	OldData []byte
+	Extents []Extent // physical locations of OldData (replace only)
+}
+
+// Errors returned by the log.
+var (
+	// ErrLogFull is returned when the log volume has no room.
+	ErrLogFull = errors.New("wal: log volume full")
+	// ErrCorruptRecord is returned for torn or damaged records during
+	// scans; scanning stops at the first such record.
+	ErrCorruptRecord = errors.New("wal: corrupt record")
+)
+
+const (
+	recHeaderSize  = 4 + 4 + 8 + 8 + 1 + 8 + 8 + 8 + 4 + 4 + 2 // crc,len,lsn,txn,type,obj,off,n,dlen,olen,extents
+	extentEncBytes = 8 + 4 + 4
+)
+
+// Log is an append-only write-ahead log over a dedicated volume.  It is
+// safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	vol    *disk.Volume
+	ps     int
+	tail   int64 // next append offset (bytes)
+	forced int64 // offset through which records are durable
+}
+
+// New creates an empty log on vol.
+func New(vol *disk.Volume) *Log {
+	return &Log{vol: vol, ps: vol.PageSize()}
+}
+
+// encode serializes r (LSN must already be set).
+func encode(r *Record) []byte {
+	buf := make([]byte, recHeaderSize+len(r.Data)+len(r.OldData)+len(r.Extents)*extentEncBytes)
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(buf)))
+	binary.BigEndian.PutUint64(buf[8:], r.LSN)
+	binary.BigEndian.PutUint64(buf[16:], r.Txn)
+	buf[24] = byte(r.Type)
+	binary.BigEndian.PutUint64(buf[25:], r.Object)
+	binary.BigEndian.PutUint64(buf[33:], uint64(r.Off))
+	binary.BigEndian.PutUint64(buf[41:], uint64(r.N))
+	binary.BigEndian.PutUint32(buf[49:], uint32(len(r.Data)))
+	binary.BigEndian.PutUint32(buf[53:], uint32(len(r.OldData)))
+	binary.BigEndian.PutUint16(buf[57:], uint16(len(r.Extents)))
+	off := recHeaderSize
+	off += copy(buf[off:], r.Data)
+	off += copy(buf[off:], r.OldData)
+	for _, e := range r.Extents {
+		binary.BigEndian.PutUint64(buf[off:], uint64(e.Page))
+		binary.BigEndian.PutUint32(buf[off+8:], uint32(e.Off))
+		binary.BigEndian.PutUint32(buf[off+12:], uint32(e.Len))
+		off += extentEncBytes
+	}
+	binary.BigEndian.PutUint32(buf[0:], crc32.ChecksumIEEE(buf[4:]))
+	return buf
+}
+
+// decode parses one record from buf, returning it and its encoded size.
+func decode(buf []byte) (*Record, int, error) {
+	if len(buf) < recHeaderSize {
+		return nil, 0, ErrCorruptRecord
+	}
+	size := int(binary.BigEndian.Uint32(buf[4:]))
+	if size < recHeaderSize || size > len(buf) {
+		return nil, 0, ErrCorruptRecord
+	}
+	if crc32.ChecksumIEEE(buf[4:size]) != binary.BigEndian.Uint32(buf[0:]) {
+		return nil, 0, ErrCorruptRecord
+	}
+	r := &Record{
+		LSN:    binary.BigEndian.Uint64(buf[8:]),
+		Txn:    binary.BigEndian.Uint64(buf[16:]),
+		Type:   RecType(buf[24]),
+		Object: binary.BigEndian.Uint64(buf[25:]),
+		Off:    int64(binary.BigEndian.Uint64(buf[33:])),
+		N:      int64(binary.BigEndian.Uint64(buf[41:])),
+	}
+	dlen := int(binary.BigEndian.Uint32(buf[49:]))
+	olen := int(binary.BigEndian.Uint32(buf[53:]))
+	next := int(binary.BigEndian.Uint16(buf[57:]))
+	if dlen < 0 || olen < 0 || recHeaderSize+dlen+olen+next*extentEncBytes != size {
+		return nil, 0, ErrCorruptRecord
+	}
+	off := recHeaderSize
+	if dlen > 0 {
+		r.Data = append([]byte{}, buf[off:off+dlen]...)
+	}
+	off += dlen
+	if olen > 0 {
+		r.OldData = append([]byte{}, buf[off:off+olen]...)
+	}
+	off += olen
+	for i := 0; i < next; i++ {
+		r.Extents = append(r.Extents, Extent{
+			Page: int64(binary.BigEndian.Uint64(buf[off:])),
+			Off:  int32(binary.BigEndian.Uint32(buf[off+8:])),
+			Len:  int32(binary.BigEndian.Uint32(buf[off+12:])),
+		})
+		off += extentEncBytes
+	}
+	return r, size, nil
+}
+
+// Append writes r at the tail of the log, assigns its LSN, and returns
+// it.  The record is not durable until Force.
+func (l *Log) Append(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = uint64(l.tail) + 1 // LSN 0 means "never logged"
+	buf := encode(r)
+	if l.tail+int64(len(buf)) > int64(l.vol.NumPages())*int64(l.ps) {
+		return 0, ErrLogFull
+	}
+	if err := l.writeAt(l.tail, buf); err != nil {
+		return 0, err
+	}
+	l.tail += int64(len(buf))
+	return r.LSN, nil
+}
+
+// writeAt writes raw bytes at a byte offset, read-modifying boundary
+// pages so earlier records on shared pages survive.
+func (l *Log) writeAt(off int64, data []byte) error {
+	ps := int64(l.ps)
+	first := off / ps
+	last := (off + int64(len(data)) - 1) / ps
+	npages := int(last - first + 1)
+	raw := make([]byte, npages*l.ps)
+	if off%ps != 0 {
+		if err := l.vol.ReadPages(disk.PageNum(first), 1, raw[:l.ps]); err != nil {
+			return err
+		}
+	}
+	copy(raw[off-first*ps:], data)
+	return l.vol.WritePages(disk.PageNum(first), npages, raw)
+}
+
+// Force makes every appended record durable.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lastPage := int((l.tail + int64(l.ps) - 1) / int64(l.ps))
+	if lastPage == 0 {
+		return nil
+	}
+	if err := l.vol.Force(0, lastPage); err != nil {
+		return err
+	}
+	l.forced = l.tail
+	return nil
+}
+
+// Tail returns the log length in bytes.
+func (l *Log) Tail() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Scan reads every intact record from byte offset start, invoking fn in
+// order.  Scanning stops cleanly at the first torn or zero record — the
+// crash-truncated tail.
+func (l *Log) Scan(start int64, fn func(*Record) error) error {
+	total := int64(l.vol.NumPages()) * int64(l.ps)
+	off := start
+	for off+int64(recHeaderSize) <= total {
+		// Read the header area (up to two pages) to learn the size.
+		head := make([]byte, recHeaderSize)
+		if err := l.readAt(off, head); err != nil {
+			return err
+		}
+		size := int(binary.BigEndian.Uint32(head[4:]))
+		if size < recHeaderSize || off+int64(size) > total {
+			return nil // truncated tail
+		}
+		buf := make([]byte, size)
+		if err := l.readAt(off, buf); err != nil {
+			return err
+		}
+		r, n, err := decode(buf)
+		if err != nil {
+			return nil // torn record: stop
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		off += int64(n)
+	}
+	return nil
+}
+
+// readAt reads raw bytes at a byte offset.
+func (l *Log) readAt(off int64, buf []byte) error {
+	ps := int64(l.ps)
+	first := off / ps
+	last := (off + int64(len(buf)) - 1) / ps
+	npages := int(last - first + 1)
+	raw := make([]byte, npages*l.ps)
+	if err := l.vol.ReadPages(disk.PageNum(first), npages, raw); err != nil {
+		return err
+	}
+	copy(buf, raw[off-first*ps:])
+	return nil
+}
+
+// Recover reattaches a log after a crash: it scans from byte 0 to find
+// the durable tail and positions appends there.  It returns the records
+// found.
+func Recover(vol *disk.Volume) (*Log, []*Record, error) {
+	l := New(vol)
+	var recs []*Record
+	if err := l.Scan(0, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	if n := len(recs); n > 0 {
+		last := recs[n-1]
+		// Tail = last record's end offset.
+		l.tail = int64(last.LSN-1) +
+			int64(recHeaderSize+len(last.Data)+len(last.OldData)+len(last.Extents)*extentEncBytes)
+	}
+	l.forced = l.tail
+	return l, recs, nil
+}
+
+// Reset truncates the log (after a checkpoint has made everything it
+// describes durable).  The whole log volume is zeroed so that stale
+// records from before the checkpoint can never be mistaken for live ones
+// by a later recovery scan.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	zero := make([]byte, int64(l.vol.NumPages())*int64(l.ps))
+	if err := l.vol.WritePages(0, int(l.vol.NumPages()), zero); err != nil {
+		return err
+	}
+	if err := l.vol.Force(0, int(l.vol.NumPages())); err != nil {
+		return err
+	}
+	l.tail = 0
+	l.forced = 0
+	return nil
+}

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+func newLog(t testing.TB, pages disk.PageNum) (*Log, *disk.Volume) {
+	t.Helper()
+	vol := disk.MustNewVolume(256, pages, disk.CostModel{})
+	return New(vol), vol
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 64)
+	recs := []*Record{
+		{Txn: 1, Type: RecBegin},
+		{Txn: 1, Type: RecInsert, Object: 7, Off: 100, Data: []byte("hello world")},
+		{Txn: 1, Type: RecDelete, Object: 7, Off: 5, N: 3, OldData: []byte("llo")},
+		{Txn: 1, Type: RecCommit},
+	}
+	var lsns []uint64
+	for _, r := range recs {
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	for i := 1; i < len(lsns); i++ {
+		if lsns[i] <= lsns[i-1] {
+			t.Errorf("LSNs not increasing: %v", lsns)
+		}
+	}
+	var got []*Record
+	if err := l.Scan(0, func(r *Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		w := recs[i]
+		if r.Txn != w.Txn || r.Type != w.Type || r.Object != w.Object ||
+			r.Off != w.Off || r.N != w.N ||
+			!bytes.Equal(r.Data, w.Data) || !bytes.Equal(r.OldData, w.OldData) {
+			t.Errorf("record %d: got %+v want %+v", i, r, w)
+		}
+	}
+}
+
+func TestCrashDropsUnforcedRecords(t *testing.T) {
+	l, vol := newLog(t, 64)
+	if _, err := l.Append(&Record{Txn: 1, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Txn: 1, Type: RecInsert, Data: []byte("durable")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	// The commit record was never forced.
+	vol.Crash()
+
+	l2, recs, err := Recover(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (commit lost)", len(recs))
+	}
+	if recs[1].Type != RecInsert || !bytes.Equal(recs[1].Data, []byte("durable")) {
+		t.Errorf("recovered record = %+v", recs[1])
+	}
+	// Appends continue at the recovered tail.
+	if _, err := l2.Append(&Record{Txn: 2, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	l2.Scan(0, func(*Record) error { count++; return nil })
+	if count != 3 {
+		t.Errorf("records after resumed append = %d, want 3", count)
+	}
+}
+
+func TestMultiPageRecords(t *testing.T) {
+	l, vol := newLog(t, 64)
+	big := make([]byte, 1000) // ~4 pages at 256-byte pages
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if _, err := l.Append(&Record{Txn: 1, Type: RecAppend, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	vol.Crash()
+	_, recs, err := Recover(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[0].Data, big) {
+		t.Fatalf("big record lost: %d records", len(recs))
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	l, _ := newLog(t, 2)
+	payload := make([]byte, 300)
+	if _, err := l.Append(&Record{Type: RecAppend, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: RecAppend, Data: payload}); !errors.Is(err, ErrLogFull) {
+		t.Errorf("err = %v, want ErrLogFull", err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	l, vol := newLog(t, 16)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(&Record{Txn: uint64(i), Type: RecBegin}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Tail() != 0 {
+		t.Errorf("tail = %d after reset", l.Tail())
+	}
+	// A single new record, then crash: recovery must see exactly one —
+	// no phantom pre-reset records.
+	if _, err := l.Append(&Record{Txn: 9, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	vol.Crash()
+	_, recs, err := Recover(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Txn != 9 {
+		t.Fatalf("recovered %d records (want 1, txn 9)", len(recs))
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for _, rt := range []RecType{RecBegin, RecCommit, RecAbort, RecCreate, RecDestroy,
+		RecAppend, RecInsert, RecDelete, RecReplace, RecTruncate, RecCheckpoint} {
+		if rt.String() == "" || rt.String()[0] == 'r' && rt.String() != "replace" {
+			t.Errorf("missing String for %d", rt)
+		}
+	}
+	if RecType(99).String() != "rectype(99)" {
+		t.Error("unknown type string")
+	}
+}
+
+func TestCorruptRecordStopsScan(t *testing.T) {
+	l, vol := newLog(t, 16)
+	if _, err := l.Append(&Record{Txn: 1, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second record's checksum area on disk.
+	raw, _ := vol.Read(0, 1)
+	raw[recHeaderSize+10] ^= 0xFF
+	vol.WritePages(0, 1, raw)
+
+	var count int
+	if err := l.Scan(0, func(*Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("scanned %d records past corruption, want 1", count)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l, _ := newLog(t, 256)
+	const goroutines = 8
+	const perG = 40
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for i := 0; i < perG; i++ {
+				if _, err := l.Append(&Record{Txn: uint64(g), Type: RecBegin, Off: int64(i)}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	// Every record intact, LSNs strictly increasing.
+	var prev uint64
+	count := 0
+	if err := l.Scan(0, func(r *Record) error {
+		if r.LSN <= prev {
+			t.Errorf("LSN order violated: %d after %d", r.LSN, prev)
+		}
+		prev = r.LSN
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != goroutines*perG {
+		t.Errorf("scanned %d records, want %d", count, goroutines*perG)
+	}
+}
+
+func BenchmarkAppendRecord(b *testing.B) {
+	vol := disk.MustNewVolume(4096, 1<<16, disk.CostModel{})
+	l := New(vol)
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(&Record{Txn: 1, Type: RecInsert, Off: int64(i), Data: payload}); err != nil {
+			if errors.Is(err, ErrLogFull) {
+				b.StopTimer()
+				if err := l.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForce(b *testing.B) {
+	vol := disk.MustNewVolume(4096, 1<<16, disk.CostModel{})
+	l := New(vol)
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(&Record{Txn: 1, Type: RecCommit, Data: payload}); err != nil {
+			b.StopTimer()
+			if err := l.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			continue
+		}
+		if err := l.Force(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

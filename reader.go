@@ -1,0 +1,122 @@
+package eos
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/eosdb/eos/internal/lob"
+)
+
+// Reader adapts a large object to io.Reader, io.ReaderAt, io.Seeker and
+// io.WriterTo, so objects plug into the standard streaming ecosystem
+// (io.Copy to play the paper's digital sound recordings, bufio.Scanner
+// over a stored document, and so on).  A Reader tracks its own position;
+// multiple Readers over one object are independent.
+//
+// Reads observe the object's current content.  WriterTo streams in
+// segment-size pieces, preserving the multi-page contiguous transfers
+// that make EOS sequential reads fast.
+type Reader struct {
+	o   *Object
+	pos int64
+}
+
+// NewReader returns a Reader positioned at byte 0.
+func (o *Object) NewReader() *Reader { return &Reader{o: o} }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	size := r.o.Size()
+	if r.pos >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if n > size-r.pos {
+		n = size - r.pos
+	}
+	if err := r.o.ReadAt(p[:n], r.pos); err != nil {
+		return 0, err
+	}
+	r.pos += n
+	return int(n), nil
+}
+
+// ReadAt implements io.ReaderAt; it does not move the position.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	size := r.o.Size()
+	if off < 0 {
+		return 0, fmt.Errorf("eos: negative offset %d", off)
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if n > size-off {
+		n = size - off
+		short = true
+	}
+	if err := r.o.ReadAt(p[:n], off); err != nil {
+		return 0, err
+	}
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.pos
+	case io.SeekEnd:
+		base = r.o.Size()
+	default:
+		return 0, fmt.Errorf("eos: invalid whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("eos: negative seek position %d", pos)
+	}
+	r.pos = pos
+	return pos, nil
+}
+
+// WriteTo implements io.WriterTo, streaming the rest of the object in
+// large chunks.
+func (r *Reader) WriteTo(w io.Writer) (int64, error) {
+	const chunk = 1 << 20
+	var total int64
+	for {
+		size := r.o.Size()
+		if r.pos >= size {
+			return total, nil
+		}
+		n := int64(chunk)
+		if n > size-r.pos {
+			n = size - r.pos
+		}
+		buf, err := r.o.Read(r.pos, n)
+		if err != nil {
+			return total, err
+		}
+		wn, err := w.Write(buf)
+		total += int64(wn)
+		r.pos += int64(wn)
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Segments lists the object's physical layout: each leaf segment's
+// logical offset, length, first volume page, and page count.
+func (o *Object) Segments() ([]lob.SegmentInfo, error) {
+	o.e.latch.RLock()
+	defer o.e.latch.RUnlock()
+	return o.e.obj.Segments()
+}

@@ -1,0 +1,259 @@
+package eos
+
+import (
+	"fmt"
+
+	"github.com/eosdb/eos/internal/buddy"
+	"github.com/eosdb/eos/internal/disk"
+	"github.com/eosdb/eos/internal/lob"
+	"github.com/eosdb/eos/internal/wal"
+)
+
+// Crash recovery (§4.5).
+//
+// The durable-state invariants the transaction layer maintains:
+//
+//   - Uncommitted STRUCTURAL work never becomes durable: insert, delete
+//     and append shadow index pages and never overwrite live data pages,
+//     and catalog writes substitute the last committed descriptor for
+//     any transaction-dirty object.
+//   - Every volume force is accompanied by a catalog write (commits,
+//     aborts, checkpoints all go through the same path), so durable page
+//     content and the durable catalog always describe the same state.
+//   - A force never includes pages another live transaction has written
+//     in place, so the only uncommitted in-place writes that can be
+//     durable are those of transactions still in flight at the crash —
+//     whose locks were never released and whose logged physical extents
+//     are therefore still accurate.
+//
+// The recovery procedure:
+//
+//  1. Scan the log; classify transactions as committed, aborted, or in
+//     flight.
+//  2. UNDO pass: for in-flight transactions' replace records, in reverse
+//     log order, restore the logged pre-image at each physical extent
+//     where the post-image is present (replace is the only in-place
+//     update; §4.5 makes it the logged one for exactly this reason).
+//  3. Rebuild the buddy directories from scratch: reformat every space,
+//     then reserve exactly the pages reachable from the catalog's
+//     descriptors.  This both reclaims pages leaked by half-finished
+//     commits and protects every live page before redo allocates.
+//  4. REDO pass: re-execute, in log order, each committed operation the
+//     catalog state has not seen — the LSN each object root carries
+//     makes this idempotent, exactly as the paper requires.  (LSNs are
+//     log offsets; a checkpoint that truncates the log zeroes the stored
+//     LSNs so the guard compares correctly across epochs.)
+//  5. Take a checkpoint and truncate the log.
+
+func (s *Store) recover() error {
+	log, recs, err := wal.Recover(s.logVol)
+	if err != nil {
+		return err
+	}
+	s.log = log
+
+	committed := make(map[uint64]bool)
+	ended := make(map[uint64]bool)
+	maxTxn := uint64(0)
+	for _, r := range recs {
+		switch r.Type {
+		case wal.RecCommit:
+			committed[r.Txn] = true
+			ended[r.Txn] = true
+		case wal.RecAbort:
+			ended[r.Txn] = true
+		}
+		if r.Txn > maxTxn {
+			maxTxn = r.Txn
+		}
+	}
+	s.nextTxn = maxTxn + 1
+
+	// Undo pass: physically restore the pre-images of replaces by
+	// transactions that were IN FLIGHT at the crash, in reverse log
+	// order.  Replace is the only in-place update; a checkpoint or
+	// another transaction's commit may have forced an in-flight
+	// transaction's page, and the logged extents point at exactly the
+	// bytes to put back.  (The extents are still accurate: an in-flight
+	// transaction never released its locks or applied its deferred
+	// frees, so its pages cannot have been restructured or reused.
+	// Ended transactions never need this: a commit or abort forces its
+	// own writes — compensated, for aborts — before its pages become
+	// reusable.)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Type != wal.RecReplace || ended[r.Txn] {
+			continue
+		}
+		if err := s.undoReplace(r); err != nil {
+			return fmt.Errorf("eos: undo of replace (lsn %d): %w", r.LSN, err)
+		}
+	}
+
+	if err := s.rebuildFreeSpace(); err != nil {
+		return err
+	}
+
+	for _, r := range recs {
+		if !committed[r.Txn] {
+			continue
+		}
+		if err := s.redo(r); err != nil {
+			return fmt.Errorf("eos: redo of %s (lsn %d): %w", r.Type, r.LSN, err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// undoReplace writes a replace record's pre-image back to its physical
+// extents — but only where the record's post-image is actually present,
+// i.e. where the loser's in-place write reached the disk.  Extents whose
+// durable content is something else (the write was never forced, or the
+// page had been legitimately reused and captured by a newer catalog
+// force) are left alone.  Idempotent: re-running finds the pre-image in
+// place and skips.
+func (s *Store) undoReplace(r *wal.Record) error {
+	ps := int64(s.vol.PageSize())
+	pos := 0
+	for _, x := range r.Extents {
+		if int64(x.Off)+int64(x.Len) > ps || pos+int(x.Len) > len(r.OldData) || pos+int(x.Len) > len(r.Data) {
+			return fmt.Errorf("%w: bad extent in replace record", ErrCorruptStore)
+		}
+		raw := make([]byte, ps)
+		if err := s.vol.ReadPages(disk.PageNum(x.Page), 1, raw); err != nil {
+			return err
+		}
+		if bytesEqual(raw[x.Off:int(x.Off)+int(x.Len)], r.Data[pos:pos+int(x.Len)]) {
+			copy(raw[x.Off:], r.OldData[pos:pos+int(x.Len)])
+			if err := s.vol.WritePages(disk.PageNum(x.Page), 1, raw); err != nil {
+				return err
+			}
+		}
+		pos += int(x.Len)
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// redo re-executes one committed operation if the object has not seen it.
+func (s *Store) redo(r *wal.Record) error {
+	s.mu.Lock()
+	e := s.byID[r.Object]
+	s.mu.Unlock()
+
+	switch r.Type {
+	case wal.RecCreate:
+		if e != nil {
+			return nil // create already durable
+		}
+		s.mu.Lock()
+		e = &catEntry{id: r.Object, name: string(r.Data), obj: s.lm.NewObject(int(r.N))}
+		s.catalog[e.name] = e
+		s.byID[e.id] = e
+		if r.Object >= s.nextID {
+			s.nextID = r.Object + 1
+		}
+		s.mu.Unlock()
+		e.obj.SetLSN(r.LSN)
+		return nil
+	case wal.RecDestroy:
+		if e == nil {
+			return nil // destroy already durable
+		}
+		if err := e.obj.Destroy(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		delete(s.catalog, e.name)
+		delete(s.byID, e.id)
+		s.mu.Unlock()
+		return nil
+	case wal.RecAppend, wal.RecInsert, wal.RecDelete, wal.RecReplace:
+		if e == nil {
+			// Object destroyed by a later committed operation; the
+			// destroy's redo (or durable state) governs.
+			return nil
+		}
+		if e.obj.LSN() >= r.LSN {
+			return nil // effect already durable: idempotent skip
+		}
+		var err error
+		switch r.Type {
+		case wal.RecAppend:
+			err = e.obj.Append(r.Data)
+		case wal.RecInsert:
+			err = e.obj.Insert(r.Off, r.Data)
+		case wal.RecDelete:
+			err = e.obj.Delete(r.Off, r.N)
+		case wal.RecReplace:
+			err = e.obj.Replace(r.Off, r.Data)
+		}
+		if err != nil {
+			return err
+		}
+		e.obj.SetLSN(r.LSN)
+		return nil
+	}
+	return nil // control records
+}
+
+// rebuildFreeSpace reformats every buddy space and reserves the pages
+// reachable from the catalog.
+func (s *Store) rebuildFreeSpace() error {
+	bm := buddy.NewManager(s.pool, !s.opts.DisableSuperdirectory)
+	page := disk.PageNum(1 + s.opts.CatalogPages)
+	for i := 0; i < s.opts.NumSpaces; i++ {
+		sp, err := buddy.FormatSpace(s.pool, page, page+1, s.opts.SpaceCapacity, s.vol)
+		if err != nil {
+			return err
+		}
+		bm.AddSpace(sp)
+		page += disk.PageNum(s.opts.SpaceCapacity + 1)
+	}
+	s.buddy = bm
+	var err error
+	prevObjs := make(map[string]*catEntry, len(s.catalog))
+	s.mu.Lock()
+	for n, e := range s.catalog {
+		prevObjs[n] = e
+	}
+	s.mu.Unlock()
+	s.lm, err = lob.NewManager(s.vol, s.pool, bm, s.lobConfig())
+	if err != nil {
+		return err
+	}
+	for _, e := range prevObjs {
+		// Reattach the loaded descriptor to the new manager and reserve
+		// its pages.
+		desc := e.obj.EncodeDescriptor()
+		obj, err := s.lm.OpenDescriptor(desc)
+		if err != nil {
+			return err
+		}
+		e.obj = obj
+		runs, err := obj.ReachablePages()
+		if err != nil {
+			return err
+		}
+		for _, run := range runs {
+			if err := bm.Reserve(run.Start, run.Pages); err != nil {
+				return fmt.Errorf("eos: reserving %d+%d for %q: %w", run.Start, run.Pages, e.name, err)
+			}
+		}
+	}
+	return nil
+}

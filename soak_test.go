@@ -1,0 +1,248 @@
+package eos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/eosdb/eos/internal/disk"
+)
+
+// TestSoakCrashRecovery is the end-to-end torture test: random
+// transactions over several objects, randomly committed (durably or
+// log-force-only), aborted, interleaved with checkpoints and full
+// crash-recovery cycles, verified against an in-memory model after
+// every round.
+func TestSoakCrashRecovery(t *testing.T) {
+	seeds := []int64{2026, 7, 424242}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			soakRun(t, seed, Options{Threshold: 4})
+		})
+		t.Run(fmt.Sprintf("seed%d-rangelock", seed), func(t *testing.T) {
+			soakRun(t, seed, Options{Threshold: 4, RangeLocking: true})
+		})
+	}
+}
+
+func soakRun(t *testing.T, seed int64, opts Options) {
+	vol := disk.MustNewVolume(512, 8192, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(512, 8192, disk.DefaultCostModel())
+	s, err := Format(vol, logVol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seed a few objects.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("soak-%d", i)
+		o, err := s.Create(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := pat(i, 2000+i*500)
+		if err := o.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		model[name] = data
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func(round int) {
+		t.Helper()
+		names := s.List()
+		if len(names) != len(model) {
+			t.Fatalf("round %d: %d objects, model has %d", round, len(names), len(model))
+		}
+		for name, want := range model {
+			o, err := s.Open(name)
+			if err != nil {
+				t.Fatalf("round %d: open %q: %v", round, name, err)
+			}
+			if o.Size() != int64(len(want)) {
+				t.Fatalf("round %d: %q size %d, want %d", round, name, o.Size(), len(want))
+			}
+			if len(want) == 0 {
+				continue
+			}
+			got, err := o.Read(0, o.Size())
+			if err != nil {
+				t.Fatalf("round %d: read %q: %v", round, name, err)
+			}
+			if !bytes.Equal(got, want) {
+				lo, hi := -1, -1
+				for i := range want {
+					if got[i] != want[i] {
+						if lo == -1 {
+							lo = i
+						}
+						hi = i
+					}
+				}
+				t.Fatalf("round %d: %q content diverged in [%d,%d] of %d", round, name, lo, hi, len(want))
+			}
+		}
+		if err := s.Check(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	names := func() []string {
+		out := make([]string, 0, len(model))
+		for n := range model {
+			out = append(out, n)
+		}
+		// Deterministic order for the seeded RNG.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+
+	for round := 0; round < 60; round++ {
+		ns := names()
+		tx, err := s.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Work on a private copy of the model; promote on commit.
+		work := map[string][]byte{}
+		for k, v := range model {
+			work[k] = append([]byte{}, v...)
+		}
+		ops := 1 + rng.Intn(4)
+		failed := false
+		for op := 0; op < ops && !failed; op++ {
+			name := ns[rng.Intn(len(ns))]
+			cur := work[name]
+			switch k := rng.Intn(10); {
+			case k < 2: // append
+				data := pat(round*100+op, 1+rng.Intn(1500))
+				if testing.Verbose() {
+					t.Logf("  r%d op%d append %s n=%d", round, op, name, len(data))
+				}
+				if err := tx.Append(name, data); err != nil {
+					t.Fatalf("round %d append: %v", round, err)
+				}
+				work[name] = append(cur, data...)
+			case k < 5 && len(cur) > 0: // insert
+				data := pat(round*100+op, 1+rng.Intn(800))
+				off := int64(rng.Intn(len(cur) + 1))
+				if testing.Verbose() {
+					t.Logf("  r%d op%d insert %s off=%d n=%d", round, op, name, off, len(data))
+				}
+				if err := tx.Insert(name, off, data); err != nil {
+					t.Fatalf("round %d insert: %v", round, err)
+				}
+				work[name] = append(cur[:off:off], append(append([]byte{}, data...), cur[off:]...)...)
+			case k < 7 && len(cur) > 1: // delete
+				n := int64(1 + rng.Intn(len(cur)/2))
+				off := int64(rng.Intn(len(cur) - int(n) + 1))
+				if testing.Verbose() {
+					t.Logf("  r%d op%d delete %s off=%d n=%d", round, op, name, off, n)
+				}
+				if err := tx.Delete(name, off, n); err != nil {
+					t.Fatalf("round %d delete: %v", round, err)
+				}
+				work[name] = append(cur[:off:off], cur[off+n:]...)
+			case k < 9 && len(cur) > 0: // replace
+				n := 1 + rng.Intn(minInt(len(cur), 600))
+				off := int64(rng.Intn(len(cur) - n + 1))
+				data := pat(round*100+op, n)
+				if testing.Verbose() {
+					t.Logf("  r%d op%d replace %s off=%d n=%d", round, op, name, off, n)
+				}
+				if err := tx.Replace(name, off, data); err != nil {
+					t.Fatalf("round %d replace: %v", round, err)
+				}
+				copy(work[name][off:], data)
+			default: // create a new object inside the txn
+				nn := fmt.Sprintf("soak-r%d-%d", round, op)
+				if err := tx.Create(nn, 0); err != nil {
+					t.Fatalf("round %d create: %v", round, err)
+				}
+				data := pat(round, 1+rng.Intn(900))
+				if err := tx.Append(nn, data); err != nil {
+					t.Fatalf("round %d append-new: %v", round, err)
+				}
+				work[nn] = data
+			}
+		}
+
+		outcome := rng.Intn(5)
+		if testing.Verbose() {
+			t.Logf("round %d: ops=%d outcome=%d", round, ops, outcome)
+		}
+		switch outcome {
+		case 0: // durable commit
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("round %d commit: %v", round, err)
+			}
+			model = work
+		case 1, 2: // fast commit
+			if err := tx.CommitNoForce(); err != nil {
+				t.Fatalf("round %d fast commit: %v", round, err)
+			}
+			model = work
+		case 3: // abort
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("round %d abort: %v", round, err)
+			}
+		case 4: // crash with the txn in flight
+			vol.Crash()
+			logVol.Crash()
+			s, err = Open(vol, logVol, opts)
+			if err != nil {
+				t.Fatalf("round %d recovery: %v", round, err)
+			}
+		}
+
+		// Occasionally checkpoint or crash between transactions.
+		post := rng.Intn(8)
+		if testing.Verbose() {
+			t.Logf("round %d: post=%d", round, post)
+		}
+		switch post {
+		case 0:
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("round %d checkpoint: %v", round, err)
+			}
+		case 1:
+			vol.Crash()
+			logVol.Crash()
+			s, err = Open(vol, logVol, opts)
+			if err != nil {
+				t.Fatalf("round %d recovery: %v", round, err)
+			}
+		}
+
+		verify(round)
+	}
+
+	// Final deep validation.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckNoLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,652 @@
+package eos
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/eosdb/eos/internal/disk"
+	"github.com/eosdb/eos/internal/lob"
+	"github.com/eosdb/eos/internal/txn"
+	"github.com/eosdb/eos/internal/wal"
+)
+
+// deferredAlloc wraps the buddy manager so that pages freed by a
+// transaction stay allocated until the transaction ends — the effect of
+// the hierarchical release locks §4.5 cites from Starburst: "segments
+// that are descendants of a locked segment are also locked, and thus
+// they remain unallocated until the holding transaction releases the
+// locks".  Because freed pages are never reused mid-transaction and
+// index updates are shadowed, an abort can restore a destroyed object
+// from its descriptor alone.
+type deferredAlloc struct {
+	inner lob.Allocator
+	mu    sync.Mutex
+	frees []pageRun
+}
+
+type pageRun struct {
+	start disk.PageNum
+	n     int
+}
+
+func (d *deferredAlloc) Alloc(n int) (disk.PageNum, error) { return d.inner.Alloc(n) }
+func (d *deferredAlloc) AllocUpTo(n int) (disk.PageNum, int, error) {
+	return d.inner.AllocUpTo(n)
+}
+func (d *deferredAlloc) MaxSegmentPages() int { return d.inner.MaxSegmentPages() }
+
+func (d *deferredAlloc) Free(p disk.PageNum, n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frees = append(d.frees, pageRun{p, n})
+	return nil
+}
+
+// mark returns the current length of the deferred list, so an operation's
+// frees can be identified (and cancelled when undoing a destroy).
+func (d *deferredAlloc) mark() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.frees)
+}
+
+// cancel drops the frees recorded in [lo, hi).
+func (d *deferredAlloc) cancel(lo, hi int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := lo; i < hi && i < len(d.frees); i++ {
+		d.frees[i] = pageRun{}
+	}
+}
+
+// apply performs every surviving deferred free.
+func (d *deferredAlloc) apply() error {
+	d.mu.Lock()
+	frees := d.frees
+	d.frees = nil
+	d.mu.Unlock()
+	for _, r := range frees {
+		if r.n == 0 {
+			continue
+		}
+		if err := d.inner.Free(r.start, r.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// txnOp is one journal entry for logical undo.
+type txnOp struct {
+	typ      wal.RecType
+	entry    *catEntry
+	off      int64
+	n        int64
+	old      []byte // pre-images for replace/delete undo
+	oldSize  int64  // for append undo
+	freeLo   int
+	freeHi   int
+	snapshot []byte // descriptor snapshot for destroy undo
+}
+
+// Txn is one transaction over the store: strict two-phase object locks,
+// write-ahead logging, shadowed index updates with deferred frees, and
+// logical undo on abort.
+//
+// Every direct data-page write the transaction performs is recorded in
+// its write set.  A commit forces the volume EXCEPT other live
+// transactions' write sets, so no commit ever makes a concurrent
+// transaction's in-place writes durable; an abort forces its own write
+// set so its compensations are durable before its pages become
+// reusable.  The only in-place writes recovery must undo are therefore
+// those of transactions still in flight at the crash — whose locks were
+// never released, so their logged extents are still accurate.
+type Txn struct {
+	s       *Store
+	id      uint64
+	alloc   *deferredAlloc
+	lm      *lob.Manager
+	touched map[uint64]*txnObj
+	journal []txnOp
+	done    bool
+
+	wmu      sync.Mutex
+	writeSet map[disk.PageNum]bool
+}
+
+// recordWrite adds a data-page run to the transaction's write set.
+func (t *Txn) recordWrite(start disk.PageNum, pages int) {
+	t.wmu.Lock()
+	for i := 0; i < pages; i++ {
+		t.writeSet[start+disk.PageNum(i)] = true
+	}
+	t.wmu.Unlock()
+}
+
+// writePages snapshots the write set.
+func (t *Txn) writePages() []disk.PageNum {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	out := make([]disk.PageNum, 0, len(t.writeSet))
+	for p := range t.writeSet {
+		out = append(out, p)
+	}
+	return out
+}
+
+type txnObj struct {
+	entry   *catEntry
+	prevLSN uint64
+	created bool
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() (*Txn, error) {
+	s.mu.Lock()
+	id := s.nextTxn
+	s.nextTxn++
+	s.mu.Unlock()
+	t := &Txn{
+		s:        s,
+		id:       id,
+		alloc:    &deferredAlloc{inner: s.buddy},
+		touched:  make(map[uint64]*txnObj),
+		writeSet: make(map[disk.PageNum]bool),
+	}
+	cfg := s.lobConfig()
+	cfg.OnDataWrite = t.recordWrite
+	var err error
+	t.lm, err = lob.NewManager(s.vol, s.pool, t.alloc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.log.Append(&wal.Record{Txn: id, Type: wal.RecBegin}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.liveTxns[id] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// LOBStats returns the large-object activity counters of this
+// transaction (shadowed index pages, reshuffled bytes, and so on).
+func (t *Txn) LOBStats() lob.Stats { return t.lm.Stats() }
+
+func (t *Txn) check() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+// lockKind classifies an operation for lock granularity purposes.
+type lockKind int
+
+const (
+	lockRead       lockKind = iota // shared on the touched range
+	lockReplace                    // exclusive on the touched range
+	lockStructural                 // exclusive on the suffix from off
+)
+
+// touch acquires the transaction-duration lock for an operation on the
+// named object and, for operations that restructure the object, reroutes
+// its allocation through the transaction's deferred allocator.
+//
+// With whole-object locking (the default) every access locks the root.
+// With Options.RangeLocking, reads share their byte range, replaces
+// exclude theirs, and the length-changing operations exclude [off, ∞) —
+// every byte after the operation's offset shifts, so the suffix is
+// exactly the range affected (§4.5).
+func (t *Txn) touch(name string, kind lockKind, off, n int64) (*catEntry, error) {
+	t.s.mu.Lock()
+	e, ok := t.s.catalog[name]
+	t.s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var err error
+	if t.s.opts.RangeLocking {
+		hi := off + n
+		if hi <= off {
+			hi = off + 1
+		}
+		switch kind {
+		case lockRead:
+			err = t.s.locks.LockRange(t.id, e.id, txn.Shared, off, hi)
+		case lockReplace:
+			err = t.s.locks.LockRange(t.id, e.id, txn.Exclusive, off, hi)
+		case lockStructural:
+			err = t.s.locks.LockRange(t.id, e.id, txn.Exclusive, off, txn.MaxRange)
+		}
+	} else {
+		mode := txn.Exclusive
+		if kind == lockRead {
+			mode = txn.Shared
+		}
+		err = t.s.locks.LockObject(t.id, e.id, mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if kind == lockRead {
+		return e, nil
+	}
+	// Under range locking only structural operations restructure the
+	// tree (replace allocates nothing and leaves the descriptor alone).
+	needsRebind := kind == lockStructural || !t.s.opts.RangeLocking
+	if _, seen := t.touched[e.id]; !seen {
+		t.touched[e.id] = &txnObj{entry: e, prevLSN: e.obj.LSN()}
+		if needsRebind {
+			e.obj.Rebind(t.lm)
+			t.s.mu.Lock()
+			e.txnDirty = t.id
+			t.s.mu.Unlock()
+		}
+	} else if needsRebind && e.txnDirty != t.id {
+		e.obj.Rebind(t.lm)
+		t.s.mu.Lock()
+		e.txnDirty = t.id
+		t.s.mu.Unlock()
+	}
+	return e, nil
+}
+
+// Create makes a new object inside the transaction.
+func (t *Txn) Create(name string, threshold int) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
+	if _, ok := t.s.catalog[name]; ok {
+		t.s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	e := &catEntry{id: t.s.nextID, name: name, obj: t.lm.NewObject(threshold), txnDirty: t.id}
+	t.s.nextID++
+	t.s.catalog[name] = e
+	t.s.byID[e.id] = e
+	t.s.mu.Unlock()
+	if err := t.s.locks.LockObject(t.id, e.id, txn.Exclusive); err != nil {
+		return err
+	}
+	t.touched[e.id] = &txnObj{entry: e, created: true}
+	lsn, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCreate, Object: e.id, Data: []byte(name), N: int64(threshold)})
+	if err != nil {
+		return err
+	}
+	e.obj.SetLSN(lsn)
+	t.journal = append(t.journal, txnOp{typ: wal.RecCreate, entry: e})
+	return nil
+}
+
+// Destroy removes an object inside the transaction.  Its pages stay
+// intact (frees are deferred), so an abort restores it from the
+// descriptor snapshot.
+func (t *Txn) Destroy(name string) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	e, err := t.touch(name, lockStructural, 0, 0)
+	if err != nil {
+		return err
+	}
+	op := txnOp{typ: wal.RecDestroy, entry: e, snapshot: e.obj.EncodeDescriptor(), freeLo: t.alloc.mark()}
+	if _, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecDestroy, Object: e.id}); err != nil {
+		return err
+	}
+	e.latch.Lock()
+	err = e.obj.Destroy()
+	e.latch.Unlock()
+	if err != nil {
+		return err
+	}
+	op.freeHi = t.alloc.mark()
+	t.s.mu.Lock()
+	delete(t.s.catalog, e.name)
+	delete(t.s.byID, e.id)
+	t.s.mu.Unlock()
+	t.journal = append(t.journal, op)
+	return nil
+}
+
+// Append appends data at the end of the named object.
+func (t *Txn) Append(name string, data []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
+	var curSize int64
+	if e, ok := t.s.catalog[name]; ok {
+		curSize = e.obj.Size()
+	}
+	t.s.mu.Unlock()
+	e, err := t.touch(name, lockStructural, curSize, 0)
+	if err != nil {
+		return err
+	}
+	oldSize := e.obj.Size()
+	op := txnOp{typ: wal.RecAppend, entry: e, oldSize: oldSize, freeLo: t.alloc.mark()}
+	lsn, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecAppend, Object: e.id, Off: oldSize, Data: data})
+	if err != nil {
+		return err
+	}
+	e.latch.Lock()
+	err = e.obj.Append(data)
+	e.latch.Unlock()
+	if err != nil {
+		return err
+	}
+	op.freeHi = t.alloc.mark()
+	e.obj.SetLSN(lsn)
+	t.journal = append(t.journal, op)
+	return nil
+}
+
+// Insert inserts data at byte off of the named object.
+func (t *Txn) Insert(name string, off int64, data []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	e, err := t.touch(name, lockStructural, off, 0)
+	if err != nil {
+		return err
+	}
+	op := txnOp{typ: wal.RecInsert, entry: e, off: off, n: int64(len(data)), freeLo: t.alloc.mark()}
+	lsn, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecInsert, Object: e.id, Off: off, Data: data})
+	if err != nil {
+		return err
+	}
+	e.latch.Lock()
+	err = e.obj.Insert(off, data)
+	e.latch.Unlock()
+	if err != nil {
+		return err
+	}
+	op.freeHi = t.alloc.mark()
+	e.obj.SetLSN(lsn)
+	t.journal = append(t.journal, op)
+	return nil
+}
+
+// Delete removes n bytes at byte off of the named object.
+func (t *Txn) Delete(name string, off, n int64) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	e, err := t.touch(name, lockStructural, off, 0)
+	if err != nil {
+		return err
+	}
+	old, err := e.obj.Read(off, n)
+	if err != nil {
+		return err
+	}
+	op := txnOp{typ: wal.RecDelete, entry: e, off: off, n: n, old: old, freeLo: t.alloc.mark()}
+	lsn, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecDelete, Object: e.id, Off: off, N: n, OldData: old})
+	if err != nil {
+		return err
+	}
+	e.latch.Lock()
+	err = e.obj.Delete(off, n)
+	e.latch.Unlock()
+	if err != nil {
+		return err
+	}
+	op.freeHi = t.alloc.mark()
+	e.obj.SetLSN(lsn)
+	t.journal = append(t.journal, op)
+	return nil
+}
+
+// Truncate shortens the named object to newSize bytes (a tail delete;
+// with newSize 0 it empties the object without reading any data page).
+func (t *Txn) Truncate(name string, newSize int64) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	size, err := t.Size(name)
+	if err != nil {
+		return err
+	}
+	if newSize < 0 || newSize > size {
+		return fmt.Errorf("eos: truncate to %d of %d", newSize, size)
+	}
+	if newSize == size {
+		return nil
+	}
+	return t.Delete(name, newSize, size-newSize)
+}
+
+// Replace overwrites bytes of the named object in place; the old and new
+// values are logged (§4.5: replace is the logged update, the other three
+// shadow).
+func (t *Txn) Replace(name string, off int64, data []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	e, err := t.touch(name, lockReplace, off, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	e.latch.RLock()
+	old, err := e.obj.Read(off, int64(len(data)))
+	if err != nil {
+		e.latch.RUnlock()
+		return err
+	}
+	// Log the physical extents with the pre-image: replace is the one
+	// in-place update, and an uncommitted replace page may reach the
+	// disk when another transaction's commit forces the volume, so
+	// recovery must be able to physically undo it.
+	exts, err := e.obj.RangeExtents(off, int64(len(data)))
+	if err != nil {
+		e.latch.RUnlock()
+		return err
+	}
+	wexts := make([]wal.Extent, len(exts))
+	for i, x := range exts {
+		wexts[i] = wal.Extent{Page: int64(x.Page), Off: int32(x.Off), Len: int32(x.Len)}
+	}
+	op := txnOp{typ: wal.RecReplace, entry: e, off: off, n: int64(len(data)), old: old, freeLo: t.alloc.mark()}
+	lsn, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecReplace, Object: e.id, Off: off, Data: data, OldData: old, Extents: wexts})
+	if err != nil {
+		e.latch.RUnlock()
+		return err
+	}
+	err = e.obj.Replace(off, data)
+	e.latch.RUnlock()
+	if err != nil {
+		return err
+	}
+	op.freeHi = t.alloc.mark()
+	e.obj.SetLSN(lsn)
+	t.journal = append(t.journal, op)
+	return nil
+}
+
+// Read returns n bytes at byte off of the named object under a shared
+// lock (whole-object by default, byte-range with Options.RangeLocking).
+func (t *Txn) Read(name string, off, n int64) ([]byte, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	e, err := t.touch(name, lockRead, off, n)
+	if err != nil {
+		return nil, err
+	}
+	e.latch.RLock()
+	defer e.latch.RUnlock()
+	return e.obj.Read(off, n)
+}
+
+// Size returns the named object's length.
+func (t *Txn) Size(name string) (int64, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	e, ok := t.s.catalog[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.obj.Size(), nil
+}
+
+// Commit makes the transaction durable: the commit record is forced to
+// the log, the deferred frees are applied, dirty pages are flushed and
+// forced, and the catalog is updated with the new descriptors.
+func (t *Txn) Commit() error { return t.commit(true) }
+
+// CommitNoForce is the fast commit path: only the commit record is
+// forced to the log; data pages and the catalog stay volatile.  If the
+// system crashes, recovery re-executes the logged operations (redo), so
+// durability is preserved at a fraction of the commit I/O — a later
+// Commit or Checkpoint migrates everything to the data volume.
+func (t *Txn) CommitNoForce() error { return t.commit(false) }
+
+func (t *Txn) commit(force bool) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	if _, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit}); err != nil {
+		return err
+	}
+	if err := t.s.log.Force(); err != nil {
+		return err
+	}
+	// Apply the deferred frees; their directory updates ride along with
+	// the data force below (or are reconstructed by recovery).
+	if err := t.alloc.apply(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
+	for _, to := range t.touched {
+		if to.entry.txnDirty == t.id {
+			to.entry.txnDirty = 0
+			to.entry.obj.Rebind(t.s.lm)
+		}
+	}
+	delete(t.s.liveTxns, t.id)
+	var err error
+	if force {
+		err = t.s.forceDurableLocked(t)
+	}
+	t.s.mu.Unlock()
+	t.s.locks.ReleaseAll(t.id)
+	return err
+}
+
+// forceDurableLocked writes the catalog and forces the volume, skipping
+// pages other live transactions have written in place (minus any t also
+// wrote).  Every force is accompanied by a catalog write, so durable
+// page content and the durable catalog always describe the same state.
+// Caller holds s.mu; t may be nil (checkpoint-style force).
+func (s *Store) forceDurableLocked(t *Txn) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.writeCatalog(); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	skip := make(map[disk.PageNum]bool)
+	for _, other := range s.liveTxns {
+		for _, p := range other.writePages() {
+			skip[p] = true
+		}
+	}
+	if t != nil {
+		t.wmu.Lock()
+		for p := range t.writeSet {
+			delete(skip, p)
+		}
+		t.wmu.Unlock()
+	}
+	s.vol.ForceAllExcept(skip)
+	return nil
+}
+
+// Abort rolls the transaction back: operations are undone logically in
+// reverse order (delete undoes insert, re-insertion undoes delete, the
+// logged pre-image undoes replace, truncation undoes append, the
+// descriptor snapshot resurrects a destroyed object), surviving deferred
+// frees are applied, and locks are released.
+func (t *Txn) Abort() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	for i := len(t.journal) - 1; i >= 0; i-- {
+		op := t.journal[i]
+		o := op.entry.obj
+		var err error
+		switch op.typ {
+		case wal.RecAppend:
+			err = o.Truncate(op.oldSize)
+		case wal.RecInsert:
+			err = o.Delete(op.off, op.n)
+		case wal.RecDelete:
+			err = o.Insert(op.off, op.old)
+		case wal.RecReplace:
+			err = o.Replace(op.off, op.old)
+		case wal.RecCreate:
+			err = o.Destroy()
+			if err == nil {
+				t.s.mu.Lock()
+				delete(t.s.catalog, op.entry.name)
+				delete(t.s.byID, op.entry.id)
+				t.s.mu.Unlock()
+			}
+		case wal.RecDestroy:
+			// The destroyed object's pages are intact: its frees were
+			// deferred.  Cancel them and restore the descriptor.
+			t.alloc.cancel(op.freeLo, op.freeHi)
+			var obj *lob.Object
+			obj, err = t.lm.OpenDescriptor(op.snapshot)
+			if err == nil {
+				op.entry.obj = obj
+				t.s.mu.Lock()
+				t.s.catalog[op.entry.name] = op.entry
+				t.s.byID[op.entry.id] = op.entry
+				t.s.mu.Unlock()
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("eos: abort undo failed: %w", err)
+		}
+	}
+	if _, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecAbort}); err != nil {
+		return err
+	}
+	if err := t.s.log.Force(); err != nil {
+		return err
+	}
+	if err := t.alloc.apply(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
+	delete(t.s.liveTxns, t.id)
+	for _, to := range t.touched {
+		if to.entry.txnDirty == t.id {
+			to.entry.txnDirty = 0
+			to.entry.obj.Rebind(t.s.lm)
+		}
+		to.entry.obj.SetLSN(to.prevLSN)
+	}
+	// An abort must leave the durable state self-consistent: its
+	// compensations were written in place, its frees may let pages be
+	// reused, and neither may become durable without the catalog that
+	// describes them.  So an abort forces exactly like a durable commit.
+	err := t.s.forceDurableLocked(t)
+	t.s.mu.Unlock()
+	t.s.locks.ReleaseAll(t.id)
+	return err
+}
