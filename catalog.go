@@ -42,7 +42,11 @@ func (s *Store) writeCatalog() error {
 			}
 			desc = e.stableDesc
 		} else {
+			// Read-latch the object: a checkpoint may run while readers
+			// are active, and the descriptor must be a consistent image.
+			e.latch.RLock()
 			desc = e.obj.EncodeDescriptor()
+			e.latch.RUnlock()
 			e.stableDesc = desc
 		}
 		var hdr [14]byte

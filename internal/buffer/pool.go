@@ -6,6 +6,14 @@
 // direct multi-page I/O (the whole point of keeping a segment physically
 // contiguous is to move it in one request).  The pool implements LRU
 // replacement among unpinned frames and write-back of dirty frames.
+//
+// The pool is lock-sharded: pages hash to one of N sub-pools, each with
+// its own mutex, frame map, and LRU list, so concurrent readers fixing
+// index pages of distinct objects do not contend.  Hit/miss/eviction
+// statistics are atomic and never take a shard lock to read.  A
+// single-shard pool (NewPoolShards with shards = 1) preserves the exact
+// global-LRU eviction order of the original design, which the
+// deterministic experiment harness depends on.
 package buffer
 
 import (
@@ -13,14 +21,16 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/eosdb/eos/internal/disk"
 )
 
 // Common pool errors.
 var (
-	// ErrNoFrames is returned when every frame is pinned and a new page is
-	// requested.
+	// ErrNoFrames is returned when every frame stayed pinned for the whole
+	// pin-wait window and a new page is requested.
 	ErrNoFrames = errors.New("buffer: all frames pinned")
 	// ErrNotPinned is returned when Unpin is called on a page that has no
 	// pinned frame.
@@ -35,6 +45,26 @@ type Stats struct {
 	Flushes   int64 // dirty frames written back
 }
 
+// HitRate returns the fraction of fix requests satisfied from memory
+// (1.0 for an untouched pool).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add returns the sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Flushes:   s.Flushes + o.Flushes,
+	}
+}
+
 type frame struct {
 	page    disk.PageNum
 	data    []byte
@@ -43,27 +73,94 @@ type frame struct {
 	lruElem *list.Element // non-nil iff pins == 0
 }
 
-// Pool is a fixed-capacity page cache.  It is safe for concurrent use.
-type Pool struct {
+// shard is one independently locked sub-pool.
+type shard struct {
 	mu       sync.Mutex
-	vol      *disk.Volume
 	capacity int
 	frames   map[disk.PageNum]*frame
 	lru      *list.List // of disk.PageNum, front = most recently unpinned
-	stats    Stats
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	flushes   atomic.Int64
 }
 
-// NewPool creates a pool of capacity frames over vol.
+// Pool is a fixed-capacity page cache.  It is safe for concurrent use.
+type Pool struct {
+	vol      *disk.Volume
+	capacity int
+	shards   []*shard
+	shift    uint // 64 - log2(len(shards)); selects high hash bits
+	pinWait  time.Duration
+}
+
+// defaultPinWait bounds how long a Fix waits for a pinned frame to be
+// released before giving up with ErrNoFrames.
+const defaultPinWait = 250 * time.Millisecond
+
+// autoShards picks the shard count for NewPool: pools too small to give
+// each shard a useful number of frames stay single-sharded (which also
+// keeps the historical eviction order for the small pools the tests and
+// baseline systems build); larger pools get up to 8 shards.
+func autoShards(capacity int) int {
+	if capacity < 128 {
+		return 1
+	}
+	n := 1
+	for n < 8 && capacity/(n*2) >= 32 {
+		n *= 2
+	}
+	return n
+}
+
+// NewPool creates a pool of capacity frames over vol, sharded
+// automatically by capacity.
 func NewPool(vol *disk.Volume, capacity int) (*Pool, error) {
+	return NewPoolShards(vol, capacity, 0)
+}
+
+// NewPoolShards creates a pool of capacity frames split over the given
+// number of lock shards (rounded down to a power of two).  shards == 0
+// selects automatically; shards == 1 yields the original single-lock,
+// global-LRU pool, whose deterministic eviction order the experiment
+// harness relies on.
+func NewPoolShards(vol *disk.Volume, capacity, shards int) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: invalid capacity %d", capacity)
 	}
-	return &Pool{
-		vol:      vol,
-		capacity: capacity,
-		frames:   make(map[disk.PageNum]*frame, capacity),
-		lru:      list.New(),
-	}, nil
+	if shards < 0 {
+		return nil, fmt.Errorf("buffer: invalid shard count %d", shards)
+	}
+	if shards == 0 {
+		shards = autoShards(capacity)
+	}
+	// Round down to a power of two so shard selection is a mask.
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	if n > capacity {
+		n = 1
+	}
+	p := &Pool{vol: vol, capacity: capacity, pinWait: defaultPinWait}
+	shift := uint(64)
+	for s := n; s > 1; s >>= 1 {
+		shift--
+	}
+	p.shift = shift
+	for i := 0; i < n; i++ {
+		cap := capacity / n
+		if i < capacity%n {
+			cap++
+		}
+		p.shards = append(p.shards, &shard{
+			capacity: cap,
+			frames:   make(map[disk.PageNum]*frame, cap),
+			lru:      list.New(),
+		})
+	}
+	return p, nil
 }
 
 // MustNewPool is NewPool that panics on error.
@@ -75,59 +172,105 @@ func MustNewPool(vol *disk.Volume, capacity int) *Pool {
 	return p
 }
 
-// Stats returns a snapshot of the pool statistics.
+// Shards reports the number of lock shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// SetPinWait bounds how long a Fix blocks waiting for a transiently
+// pinned frame before returning ErrNoFrames (default 250ms; 0 fails
+// immediately, restoring the historical behavior).
+func (p *Pool) SetPinWait(d time.Duration) { p.pinWait = d }
+
+// shardFor maps a page to its shard.  The multiplicative hash spreads
+// the sequential page numbers of adjacent index nodes across shards.
+func (p *Pool) shardFor(pg disk.PageNum) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(pg) * 0x9E3779B97F4A7C15
+	return p.shards[h>>p.shift]
+}
+
+// Stats returns a snapshot of the pool statistics, summed over shards,
+// without taking any shard lock.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for _, sh := range p.shards {
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
+		s.Flushes += sh.flushes.Load()
+	}
+	return s
 }
 
 // Fix pins page pg and returns its in-memory image.  The caller may read
 // the returned slice, and may modify it if it marks the page dirty before
 // unpinning.  The slice remains valid until Unpin.
 func (p *Pool) Fix(pg disk.PageNum) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
-	if f, ok := p.frames[pg]; ok {
-		p.stats.Hits++
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	if f, ok := sh.frames[pg]; ok {
+		sh.hits.Add(1)
 		if f.lruElem != nil {
-			p.lru.Remove(f.lruElem)
+			sh.lru.Remove(f.lruElem)
 			f.lruElem = nil
 		}
 		f.pins++
-		return f.data, nil
+		data := f.data
+		sh.mu.Unlock()
+		return data, nil
 	}
 
-	p.stats.Misses++
-	f, err := p.allocFrameLocked()
+	sh.misses.Add(1)
+	f, err := p.allocFrameLocked(sh, pg)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
+	if f == nil {
+		// A waiting retry found the page resident (another goroutine
+		// fixed it while we slept): take the hit path, minus the
+		// double-count — the miss above already recorded our intent to
+		// read, but no disk read happened, so convert it back.
+		sh.misses.Add(-1)
+		sh.hits.Add(1)
+		rf := sh.frames[pg]
+		if rf.lruElem != nil {
+			sh.lru.Remove(rf.lruElem)
+			rf.lruElem = nil
+		}
+		rf.pins++
+		data := rf.data
+		sh.mu.Unlock()
+		return data, nil
+	}
 	if err := p.vol.ReadPages(pg, 1, f.data); err != nil {
-		p.releaseFrameLocked(f)
+		sh.mu.Unlock()
 		return nil, err
 	}
 	f.page = pg
 	f.pins = 1
 	f.dirty = false
-	p.frames[pg] = f
-	return f.data, nil
+	sh.frames[pg] = f
+	data := f.data
+	sh.mu.Unlock()
+	return data, nil
 }
 
 // FixNew pins page pg without reading it from disk, returning a zeroed
 // image.  Used when a page is about to be fully initialized (fresh index
 // nodes, fresh directory pages); it saves the pointless read.
 func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	if f, ok := p.frames[pg]; ok {
+	if f, ok := sh.frames[pg]; ok {
 		// Already resident: treat as an ordinary hit but zero the image,
 		// matching the "fresh page" contract.
-		p.stats.Hits++
+		sh.hits.Add(1)
 		if f.lruElem != nil {
-			p.lru.Remove(f.lruElem)
+			sh.lru.Remove(f.lruElem)
 			f.lruElem = nil
 		}
 		f.pins++
@@ -137,9 +280,24 @@ func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
 		f.dirty = true
 		return f.data, nil
 	}
-	f, err := p.allocFrameLocked()
+	f, err := p.allocFrameLocked(sh, pg)
 	if err != nil {
 		return nil, err
+	}
+	if f == nil {
+		// The page became resident during a pin wait: zero it in place.
+		rf := sh.frames[pg]
+		sh.hits.Add(1)
+		if rf.lruElem != nil {
+			sh.lru.Remove(rf.lruElem)
+			rf.lruElem = nil
+		}
+		rf.pins++
+		for i := range rf.data {
+			rf.data[i] = 0
+		}
+		rf.dirty = true
+		return rf.data, nil
 	}
 	for i := range f.data {
 		f.data[i] = 0
@@ -147,49 +305,66 @@ func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
 	f.page = pg
 	f.pins = 1
 	f.dirty = true
-	p.frames[pg] = f
+	sh.frames[pg] = f
 	return f.data, nil
 }
 
-// allocFrameLocked returns a free frame, evicting the LRU unpinned frame
-// if the pool is full.  Caller holds p.mu.
-func (p *Pool) allocFrameLocked() (*frame, error) {
-	if len(p.frames) < p.capacity {
-		return &frame{data: make([]byte, p.vol.PageSize())}, nil
-	}
-	back := p.lru.Back()
-	if back == nil {
-		return nil, ErrNoFrames
-	}
-	victimPage := back.Value.(disk.PageNum)
-	victim := p.frames[victimPage]
-	p.lru.Remove(back)
-	victim.lruElem = nil
-	if victim.dirty {
-		if err := p.vol.WritePages(victim.page, 1, victim.data); err != nil {
-			return nil, err
+// allocFrameLocked returns a free frame, evicting the shard's LRU
+// unpinned frame if the shard is full.  When every frame is transiently
+// pinned it releases the lock and waits (bounded by the pool pin-wait)
+// for an unpin before giving up with ErrNoFrames.  Caller holds sh.mu.
+//
+// A nil, nil return means the wanted page became resident while waiting;
+// the caller must take its hit path instead.
+func (p *Pool) allocFrameLocked(sh *shard, want disk.PageNum) (*frame, error) {
+	var deadline time.Time
+	for {
+		if len(sh.frames) < sh.capacity {
+			return &frame{data: make([]byte, p.vol.PageSize())}, nil
 		}
-		p.stats.Flushes++
+		if back := sh.lru.Back(); back != nil {
+			victimPage := back.Value.(disk.PageNum)
+			victim := sh.frames[victimPage]
+			sh.lru.Remove(back)
+			victim.lruElem = nil
+			if victim.dirty {
+				if err := p.vol.WritePages(victim.page, 1, victim.data); err != nil {
+					return nil, err
+				}
+				sh.flushes.Add(1)
+			}
+			delete(sh.frames, victimPage)
+			sh.evictions.Add(1)
+			return victim, nil
+		}
+		// All frames pinned.  Wait briefly for a concurrent Unpin rather
+		// than failing outright — under parallel load every frame can be
+		// pinned for a few microseconds at a time.
+		now := time.Now()
+		if deadline.IsZero() {
+			if p.pinWait <= 0 {
+				return nil, ErrNoFrames
+			}
+			deadline = now.Add(p.pinWait)
+		} else if now.After(deadline) {
+			return nil, ErrNoFrames
+		}
+		sh.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		sh.mu.Lock()
+		if _, ok := sh.frames[want]; ok {
+			return nil, nil
+		}
 	}
-	delete(p.frames, victimPage)
-	p.stats.Evictions++
-	return victim, nil
-}
-
-// releaseFrameLocked discards a frame whose fill failed.
-func (p *Pool) releaseFrameLocked(f *frame) {
-	// The frame was never entered into p.frames; nothing to do, it is
-	// garbage collected.  Kept as a function for symmetry and future
-	// free-list reuse.
-	_ = f
 }
 
 // MarkDirty records that the pinned image of pg has been modified and must
 // be written back before eviction.
 func (p *Pool) MarkDirty(pg disk.PageNum) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pg]
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pg]
 	if !ok || f.pins == 0 {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, pg)
 	}
@@ -200,24 +375,26 @@ func (p *Pool) MarkDirty(pg disk.PageNum) error {
 // Unpin releases one pin on pg.  When the pin count reaches zero the frame
 // becomes eligible for eviction.
 func (p *Pool) Unpin(pg disk.PageNum) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pg]
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pg]
 	if !ok || f.pins == 0 {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, pg)
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lruElem = p.lru.PushFront(f.page)
+		f.lruElem = sh.lru.PushFront(f.page)
 	}
 	return nil
 }
 
 // FlushPage writes pg back to disk if it is resident and dirty.
 func (p *Pool) FlushPage(pg disk.PageNum) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pg]
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pg]
 	if !ok || !f.dirty {
 		return nil
 	}
@@ -225,23 +402,26 @@ func (p *Pool) FlushPage(pg disk.PageNum) error {
 		return err
 	}
 	f.dirty = false
-	p.stats.Flushes++
+	sh.flushes.Add(1)
 	return nil
 }
 
 // FlushAll writes every dirty resident frame back to disk.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if !f.dirty {
-			continue
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			if err := p.vol.WritePages(f.page, 1, f.data); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+			sh.flushes.Add(1)
 		}
-		if err := p.vol.WritePages(f.page, 1, f.data); err != nil {
-			return err
-		}
-		f.dirty = false
-		p.stats.Flushes++
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -249,45 +429,51 @@ func (p *Pool) FlushAll() error {
 // Discard drops pg from the pool without writing it back, regardless of
 // dirty state.  Used when a shadowed page is abandoned.
 func (p *Pool) Discard(pg disk.PageNum) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pg]
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pg]
 	if !ok {
 		return
 	}
 	if f.lruElem != nil {
-		p.lru.Remove(f.lruElem)
+		sh.lru.Remove(f.lruElem)
 	}
-	delete(p.frames, pg)
+	delete(sh.frames, pg)
 }
 
 // DiscardAll drops every frame without writing anything back.  Used to
 // model volatile state loss when simulating a crash.
 func (p *Pool) DiscardAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[disk.PageNum]*frame, p.capacity)
-	p.lru.Init()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.frames = make(map[disk.PageNum]*frame, sh.capacity)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 // PinnedFrames reports how many frames are currently pinned — zero at
 // any quiescent point; tests use it to detect pin leaks.
 func (p *Pool) PinnedFrames() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Resident reports whether pg currently occupies a frame.
 func (p *Pool) Resident(pg disk.PageNum) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.frames[pg]
+	sh := p.shardFor(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.frames[pg]
 	return ok
 }

@@ -2,8 +2,10 @@ package buffer
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/eosdb/eos/internal/disk"
 )
@@ -313,5 +315,191 @@ func BenchmarkFixMissEvict(b *testing.B) {
 			b.Fatal(err)
 		}
 		pool.Unpin(pg)
+	}
+}
+
+func TestShardCounts(t *testing.T) {
+	vol := disk.MustNewVolume(64, 2048, disk.CostModel{})
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{64, 0, 1},  // small pools stay single-sharded
+		{256, 0, 8}, // auto-sharding kicks in at 128 frames
+		{16, 3, 2},  // explicit counts round down to a power of two
+		{16, 8, 8},  //
+		{4, 16, 1},  // never more shards than frames
+		{256, 1, 1}, // explicit single shard for determinism
+	}
+	for _, c := range cases {
+		p, err := NewPoolShards(vol, c.capacity, c.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shards() != c.want {
+			t.Errorf("NewPoolShards(cap=%d, shards=%d): got %d shards, want %d",
+				c.capacity, c.shards, p.Shards(), c.want)
+		}
+	}
+	if _, err := NewPoolShards(vol, 16, -1); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+func TestShardedPoolReadsAndStats(t *testing.T) {
+	vol := disk.MustNewVolume(64, 2048, disk.CostModel{})
+	pool, err := NewPoolShards(vol, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := disk.PageNum(0); pg < 128; pg++ {
+		want := byte(pg + 1)
+		if err := vol.WritePages(pg, 1, bytes.Repeat([]byte{want}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		img, err := pool.Fix(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img[0] != want {
+			t.Fatalf("page %d read %d, want %d", pg, img[0], want)
+		}
+		pool.Unpin(pg)
+	}
+	// Re-fix: all resident, all hits, aggregated across shards.
+	for pg := disk.PageNum(0); pg < 128; pg++ {
+		if _, err := pool.Fix(pg); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(pg)
+	}
+	s := pool.Stats()
+	if s.Misses != 128 || s.Hits != 128 {
+		t.Errorf("stats = %+v, want 128 misses 128 hits", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	if (Stats{}).HitRate() != 1 {
+		t.Error("HitRate of untouched pool should be 1")
+	}
+}
+
+func TestPinWaitRecoversFromTransientPin(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 2)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		pool.Unpin(0)
+	}()
+	// Every frame is pinned right now, but one is released while we are
+	// inside the bounded pin wait — the Fix must succeed.
+	if _, err := pool.Fix(2); err != nil {
+		t.Fatalf("Fix during transient full pin: %v", err)
+	}
+	pool.Unpin(2)
+	pool.Unpin(1)
+}
+
+func TestPinWaitTimeout(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 1)
+	pool.SetPinWait(10 * time.Millisecond)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := pool.Fix(1)
+	if !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("err = %v, want ErrNoFrames", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("gave up after %v, before the pin-wait window", elapsed)
+	}
+	pool.Unpin(0)
+}
+
+func TestPinWaitZeroFailsFast(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 1)
+	pool.SetPinWait(0)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(1); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("err = %v, want immediate ErrNoFrames", err)
+	}
+	pool.Unpin(0)
+}
+
+func TestPinWaitFindsPageFixedMeanwhile(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 16, 2)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	// Two goroutines want page 7 while the pool is full; main releases a
+	// frame while they wait.  Whichever goroutine reads the page first,
+	// the other must find it resident — exactly one miss between them.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := pool.Fix(7); err != nil {
+				t.Errorf("Fix(7): %v", err)
+				return
+			}
+			pool.Unpin(7)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	pool.Unpin(0)
+	wg.Wait()
+	s := pool.Stats()
+	if got := s.Misses; got != 3 { // pages 0, 1, and one read of 7
+		t.Errorf("misses = %d, want 3 (stats %+v)", got, s)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (stats %+v)", s.Hits, s)
+	}
+	pool.Unpin(1)
+}
+
+func TestConcurrentShardedMixed(t *testing.T) {
+	vol := disk.MustNewVolume(64, 512, disk.CostModel{})
+	pool, err := NewPoolShards(vol, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				pg := disk.PageNum((seed*131 + i*17) % 512)
+				img, err := pool.Fix(pg)
+				if err != nil {
+					continue
+				}
+				if i%5 == 0 {
+					img[0] = byte(seed)
+					pool.MarkDirty(pg)
+				}
+				pool.Unpin(pg)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.PinnedFrames(); n != 0 {
+		t.Errorf("%d frames still pinned after quiescence", n)
 	}
 }

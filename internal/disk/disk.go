@@ -16,12 +16,23 @@
 // (which writes survive a crash) are provided by CrashPoint support: a
 // Volume distinguishes pages that have been "forced" (survive a simulated
 // crash) from pages written but not yet forced.
+//
+// A Volume is safe for concurrent use, and reads proceed in parallel:
+// the page array is guarded by an RWMutex (reads share, writes exclude)
+// while the seek/transfer accounting sits under its own short-lived
+// mutex, so concurrent multi-page transfers overlap their copies.  For
+// concurrency experiments, SetLatency additionally makes every request
+// sleep its modelled duration, bounded by a configurable number of
+// outstanding requests — queue depth 1 models the paper's single-arm
+// disk (and the fully serialized read path the original single-mutex
+// design enforced), larger depths model a modern device.
 package disk
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Common volume errors.
@@ -102,17 +113,24 @@ type PageNum int64
 // Volume is a simulated disk: a linear array of fixed-size pages with
 // seek/transfer cost accounting and crash semantics.
 //
-// A Volume is safe for concurrent use; each request is atomic.
+// A Volume is safe for concurrent use; each request is atomic, and read
+// requests overlap each other.
 type Volume struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards data, durable, dirty
 	pageSize int
 	numPages PageNum
 	data     []byte // numPages * pageSize
 	durable  []byte // last forced image of every page (crash survivors)
 	dirty    map[PageNum]bool
-	model    CostModel
-	stats    Stats
-	headPos  PageNum // page following the last transferred page; -1 unknown
+
+	// accMu guards the accounting state below.  It is always acquired
+	// while holding mu (shared or exclusive) and held only for the few
+	// counter updates, so concurrent multi-page reads serialize on it
+	// briefly but overlap their copies.
+	accMu   sync.Mutex
+	model   CostModel
+	stats   Stats
+	headPos PageNum // page following the last transferred page; -1 unknown
 
 	// Fault injection: when faultAfter reaches zero, every subsequent
 	// request fails with faultErr until ClearFault.
@@ -120,6 +138,11 @@ type Volume struct {
 	faultErr   error
 
 	tracer func(TraceEvent)
+
+	// Latency simulation (SetLatency): every request sleeps its modelled
+	// duration; latSem bounds the number of outstanding requests.
+	latOn  bool
+	latSem chan struct{}
 }
 
 // NewVolume creates a volume of numPages pages of pageSize bytes each,
@@ -161,18 +184,33 @@ func (v *Volume) NumPages() PageNum { return v.numPages }
 
 // Stats returns a snapshot of the accumulated I/O statistics.
 func (v *Volume) Stats() Stats {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
 	return v.stats
 }
 
 // ResetStats zeroes the statistics counters and forgets the head position
 // so the next request is charged a seek.
 func (v *Volume) ResetStats() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
 	v.stats = Stats{}
 	v.headPos = -1
+}
+
+// SetLatency enables or disables latency simulation.  When enabled, every
+// read and write request sleeps its modelled duration (the same
+// microseconds charged to Stats.Micros), and at most parallelism requests
+// are outstanding at once: 1 models the single-arm 1992 disk — and the
+// fully serialized transfer path a global volume mutex used to enforce —
+// while higher values model a device with internal parallelism.  Must not
+// be toggled while requests are in flight.
+func (v *Volume) SetLatency(enabled bool, parallelism int) {
+	v.latOn = enabled
+	v.latSem = nil
+	if enabled && parallelism > 0 {
+		v.latSem = make(chan struct{}, parallelism)
+	}
 }
 
 // TraceEvent describes one I/O request, emitted to the tracer if one is
@@ -187,11 +225,11 @@ type TraceEvent struct {
 }
 
 // SetTracer installs fn to observe every read and write; nil disables
-// tracing.  The tracer is invoked synchronously with the volume lock
+// tracing.  The tracer is invoked synchronously with the accounting lock
 // held, so it must be fast and must not call back into the volume.
 func (v *Volume) SetTracer(fn func(TraceEvent)) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
 	v.tracer = fn
 }
 
@@ -199,21 +237,21 @@ func (v *Volume) SetTracer(fn func(TraceEvent)) {
 // every read and write fails with err until ClearFault.  Tests use this
 // to verify that I/O errors propagate cleanly through every layer.
 func (v *Volume) FailAfter(n int64, err error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
 	v.faultAfter = n
 	v.faultErr = err
 }
 
 // ClearFault disarms fault injection.
 func (v *Volume) ClearFault() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
 	v.faultErr = nil
 }
 
 // faultCheck consumes one request against the fault budget.  Caller
-// holds v.mu.
+// holds v.accMu.
 func (v *Volume) faultCheck() error {
 	if v.faultErr == nil {
 		return nil
@@ -232,26 +270,52 @@ func (v *Volume) checkRange(start PageNum, n int) error {
 	return nil
 }
 
-func (v *Volume) charge(start PageNum, n int, write bool) {
+// charge accounts one request and returns its modelled duration in
+// microseconds.  Caller holds v.accMu.
+func (v *Volume) charge(start PageNum, n int, write bool) int64 {
 	if n == 0 {
-		return
+		return 0
 	}
+	var micros int64
 	seek := v.headPos != start
 	if seek {
 		v.stats.Seeks++
-		v.stats.Micros += v.model.SeekMicros + v.model.RotationalMicros
+		micros += v.model.SeekMicros + v.model.RotationalMicros
 	}
-	v.stats.Micros += int64(n) * v.model.TransferMicrosPerPage
+	micros += int64(n) * v.model.TransferMicrosPerPage
+	v.stats.Micros += micros
 	v.headPos = start + PageNum(n)
 	if v.tracer != nil {
 		v.tracer(TraceEvent{Write: write, Start: start, Pages: n, Seek: seek})
+	}
+	return micros
+}
+
+// admit blocks until the latency-mode device accepts another outstanding
+// request; the returned function completes it (after sleeping the
+// modelled duration recorded by the caller).
+func (v *Volume) admit() func(micros int64) {
+	if !v.latOn {
+		return nil
+	}
+	if v.latSem != nil {
+		v.latSem <- struct{}{}
+	}
+	return func(micros int64) {
+		if micros > 0 {
+			time.Sleep(time.Duration(micros) * time.Microsecond)
+		}
+		if v.latSem != nil {
+			<-v.latSem
+		}
 	}
 }
 
 // ReadPages reads n physically contiguous pages starting at page start
 // into buf, which must be exactly n*PageSize bytes.  A single multi-page
 // read costs at most one seek — this is the contiguity property the EOS
-// segment design exists to exploit.
+// segment design exists to exploit.  Concurrent reads overlap: only the
+// brief accounting update is serialized.
 func (v *Volume) ReadPages(start PageNum, n int, buf []byte) error {
 	if len(buf) != n*v.pageSize {
 		return fmt.Errorf("%w: got %d bytes for %d pages", ErrBadLength, len(buf), n)
@@ -259,16 +323,27 @@ func (v *Volume) ReadPages(start PageNum, n int, buf []byte) error {
 	if err := v.checkRange(start, n); err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	done := v.admit()
+	v.mu.RLock()
+	v.accMu.Lock()
 	if err := v.faultCheck(); err != nil {
+		v.accMu.Unlock()
+		v.mu.RUnlock()
+		if done != nil {
+			done(0)
+		}
 		return err
 	}
 	v.stats.Reads++
 	v.stats.PagesRead += int64(n)
-	v.charge(start, n, false)
+	micros := v.charge(start, n, false)
+	v.accMu.Unlock()
 	off := int64(start) * int64(v.pageSize)
 	copy(buf, v.data[off:off+int64(n)*int64(v.pageSize)])
+	v.mu.RUnlock()
+	if done != nil {
+		done(micros)
+	}
 	return nil
 }
 
@@ -291,18 +366,29 @@ func (v *Volume) WritePages(start PageNum, n int, buf []byte) error {
 	if err := v.checkRange(start, n); err != nil {
 		return err
 	}
+	done := v.admit()
 	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.accMu.Lock()
 	if err := v.faultCheck(); err != nil {
+		v.accMu.Unlock()
+		v.mu.Unlock()
+		if done != nil {
+			done(0)
+		}
 		return err
 	}
 	v.stats.Writes++
 	v.stats.PagesWritten += int64(n)
-	v.charge(start, n, true)
+	micros := v.charge(start, n, true)
+	v.accMu.Unlock()
 	off := int64(start) * int64(v.pageSize)
 	copy(v.data[off:], buf)
 	for i := 0; i < n; i++ {
 		v.dirty[start+PageNum(i)] = true
+	}
+	v.mu.Unlock()
+	if done != nil {
+		done(micros)
 	}
 	return nil
 }
@@ -364,13 +450,15 @@ func (v *Volume) Crash() {
 	defer v.mu.Unlock()
 	copy(v.data, v.durable)
 	v.dirty = make(map[PageNum]bool)
+	v.accMu.Lock()
 	v.stats = Stats{}
 	v.headPos = -1
+	v.accMu.Unlock()
 }
 
 // DirtyPages reports how many written pages have not been forced.
 func (v *Volume) DirtyPages() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return len(v.dirty)
 }

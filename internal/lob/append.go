@@ -112,7 +112,8 @@ func (o *Object) appendBytes(data []byte, sizeHint int64) error {
 	if len(data) == 0 {
 		return nil
 	}
-	o.m.count(func(s *Stats) { s.Appends++ })
+	o.bumpVersion()
+	o.m.st.appends.Add(1)
 	m := o.m
 	ps := m.vol.PageSize()
 	maxSeg := m.alloc.MaxSegmentPages()
@@ -161,7 +162,7 @@ func (o *Object) appendBytes(data []byte, sizeHint int64) error {
 		if err != nil {
 			return err
 		}
-		m.count(func(s *Stats) { s.SegmentsAllocated++ })
+		m.st.segmentsAllocated.Add(1)
 		o.nextGrow = got * 2
 		if o.nextGrow > maxSeg {
 			o.nextGrow = maxSeg

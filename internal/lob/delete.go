@@ -23,7 +23,8 @@ func (o *Object) Delete(off, n int64) error {
 	if n == 0 {
 		return nil
 	}
-	o.m.count(func(s *Stats) { s.Deletes++ })
+	o.bumpVersion()
+	o.m.st.deletes.Add(1)
 	if err := o.Trim(); err != nil {
 		return err
 	}
@@ -69,10 +70,8 @@ func (o *Object) Delete(off, n int64) error {
 		res = reshuffleResult{lc: lc, rc: rc}
 	} else {
 		res = reshuffle(lc, nc, rc, t, int(ps), maxSegBytes)
-		m.count(func(s *Stats) {
-			s.BytesReshuffled += res.moveL + res.moveR
-			s.PagesReshuffled += (res.moveL + res.moveR) / ps
-		})
+		m.st.bytesReshuffled.Add(res.moveL + res.moveR)
+		m.st.pagesReshuffled.Add((res.moveL + res.moveR) / ps)
 	}
 
 	// Step 4: materialize N (one read from S' covering Q's suffix plus

@@ -23,7 +23,8 @@ func (o *Object) Insert(off int64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	o.m.count(func(s *Stats) { s.Inserts++ })
+	o.bumpVersion()
+	o.m.st.inserts.Add(1)
 	if err := o.Trim(); err != nil {
 		return err
 	}
@@ -70,10 +71,8 @@ func (o *Object) Insert(off int64, data []byte) error {
 
 	// Step 3: reshuffle.
 	res := reshuffle(lc, ncBase, rc, t, int(ps), maxSegBytes)
-	m.count(func(s *Stats) {
-		s.BytesReshuffled += res.moveL + res.moveR
-		s.PagesReshuffled += (res.moveL + res.moveR) / ps
-	})
+	m.st.bytesReshuffled.Add(res.moveL + res.moveR)
+	m.st.pagesReshuffled.Add((res.moveL + res.moveR) / ps)
 
 	// Step 4: materialize N.  The source bytes — L's migrated tail, the
 	// split page's suffix, and R's migrated prefix — are physically

@@ -3,7 +3,7 @@ package lob
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"github.com/eosdb/eos/internal/buffer"
 	"github.com/eosdb/eos/internal/disk"
@@ -49,6 +49,13 @@ type Config struct {
 	// replacements).  The transaction layer installs it to track each
 	// transaction's write set for targeted forcing at commit and abort.
 	OnDataWrite func(start disk.PageNum, pages int)
+	// ReadWorkers bounds the worker pool that fans out multi-segment
+	// reads: a read spanning K segments dispatches its K multi-page
+	// transfers concurrently (at most ReadWorkers in flight across the
+	// whole manager).  0 or 1 keeps reads fully sequential, which also
+	// keeps the volume's seek accounting deterministic for the
+	// experiment harness.
+	ReadWorkers int
 }
 
 // Stats counts manager activity for the experiments.
@@ -69,6 +76,26 @@ type Stats struct {
 	ShadowedIndexPages int64
 }
 
+// stats is the manager's live counter set.  Every counter is atomic so
+// the hot read path never takes a lock to count, and Stats() snapshots
+// without stalling concurrent operations.
+type stats struct {
+	appends            atomic.Int64
+	reads              atomic.Int64
+	replaces           atomic.Int64
+	inserts            atomic.Int64
+	deletes            atomic.Int64
+	segmentsAllocated  atomic.Int64
+	segmentsFreed      atomic.Int64
+	bytesReshuffled    atomic.Int64
+	pagesReshuffled    atomic.Int64
+	nodeSplits         atomic.Int64
+	nodeMerges         atomic.Int64
+	leafCompactions    atomic.Int64
+	segmentsCompacted  atomic.Int64
+	shadowedIndexPages atomic.Int64
+}
+
 // Manager provides large object storage over a volume, a buffer pool for
 // index pages, and an allocator.  Leaf segments bypass the pool: they are
 // transferred with direct multi-page volume I/O.
@@ -77,9 +104,11 @@ type Manager struct {
 	pool  *buffer.Pool
 	alloc Allocator
 	cfg   Config
+	st    stats
 
-	mu    sync.Mutex
-	stats Stats
+	// readSem bounds concurrent segment transfers for fanned-out reads
+	// (nil when Config.ReadWorkers <= 1).
+	readSem chan struct{}
 }
 
 // NewManager validates cfg and creates a manager.
@@ -99,7 +128,11 @@ func NewManager(vol *disk.Volume, pool *buffer.Pool, alloc Allocator, cfg Config
 	if cfg.MaxRootEntries < 2 {
 		return nil, fmt.Errorf("%w: max root entries %d < 2", ErrBadConfig, cfg.MaxRootEntries)
 	}
-	return &Manager{vol: vol, pool: pool, alloc: alloc, cfg: cfg}, nil
+	m := &Manager{vol: vol, pool: pool, alloc: alloc, cfg: cfg}
+	if cfg.ReadWorkers > 1 {
+		m.readSem = make(chan struct{}, cfg.ReadWorkers)
+	}
+	return m, nil
 }
 
 // Config returns the manager's configuration.
@@ -108,17 +141,24 @@ func (m *Manager) Config() Config { return m.cfg }
 // PageSize returns the underlying volume page size.
 func (m *Manager) PageSize() int { return m.vol.PageSize() }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters without taking any lock.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
-
-func (m *Manager) count(f func(*Stats)) {
-	m.mu.Lock()
-	f(&m.stats)
-	m.mu.Unlock()
+	return Stats{
+		Appends:            m.st.appends.Load(),
+		Reads:              m.st.reads.Load(),
+		Replaces:           m.st.replaces.Load(),
+		Inserts:            m.st.inserts.Load(),
+		Deletes:            m.st.deletes.Load(),
+		SegmentsAllocated:  m.st.segmentsAllocated.Load(),
+		SegmentsFreed:      m.st.segmentsFreed.Load(),
+		BytesReshuffled:    m.st.bytesReshuffled.Load(),
+		PagesReshuffled:    m.st.pagesReshuffled.Load(),
+		NodeSplits:         m.st.nodeSplits.Load(),
+		NodeMerges:         m.st.nodeMerges.Load(),
+		LeafCompactions:    m.st.leafCompactions.Load(),
+		SegmentsCompacted:  m.st.segmentsCompacted.Load(),
+		ShadowedIndexPages: m.st.shadowedIndexPages.Load(),
+	}
 }
 
 // ---- node I/O ----
@@ -149,7 +189,7 @@ func (m *Manager) writeNode(old disk.PageNum, n *node) (disk.PageNum, error) {
 			if err := m.alloc.Free(old, 1); err != nil {
 				return 0, err
 			}
-			m.count(func(s *Stats) { s.ShadowedIndexPages++ })
+			m.st.shadowedIndexPages.Add(1)
 		}
 	}
 	img, err := m.pool.FixNew(page)
@@ -237,7 +277,7 @@ func (m *Manager) allocSegments(total int64) ([]entry, error) {
 			}
 		}
 		remaining -= bytes
-		m.count(func(s *Stats) { s.SegmentsAllocated++ })
+		m.st.segmentsAllocated.Add(1)
 	}
 	return out, nil
 }
@@ -248,7 +288,7 @@ func (m *Manager) freeSegment(start disk.PageNum, bytes int64) error {
 	if n == 0 {
 		return nil
 	}
-	m.count(func(s *Stats) { s.SegmentsFreed++ })
+	m.st.segmentsFreed.Add(1)
 	return m.alloc.Free(start, n)
 }
 

@@ -2,6 +2,7 @@ package lob
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/eosdb/eos/internal/disk"
 )
@@ -30,6 +31,11 @@ type Object struct {
 	// lsn is the log sequence number of the last logged update, stored in
 	// the root so updates can be undone/redone idempotently (§4.5).
 	lsn uint64
+
+	// ver counts mutations.  Readers that stage data outside the object
+	// latch (the sequential prefetcher) record the version before reading
+	// and discard the staged bytes if any mutation intervened.
+	ver atomic.Int64
 }
 
 // NewObject creates an empty large object.  threshold <= 0 selects the
@@ -51,6 +57,15 @@ func (m *Manager) NewObject(threshold int) *Object {
 
 // Size returns the object's length in bytes.
 func (o *Object) Size() int64 { return o.size }
+
+// Version returns the object's mutation counter.  It increases on every
+// update (append, insert, delete, replace, truncate, compact, destroy);
+// two equal readings with no mutator admitted in between guarantee the
+// object's bytes did not change.
+func (o *Object) Version() int64 { return o.ver.Load() }
+
+// bumpVersion records that a mutation is taking place.
+func (o *Object) bumpVersion() { o.ver.Add(1) }
 
 // Threshold returns the object's current segment size threshold T.
 func (o *Object) Threshold() int { return o.threshold }
@@ -83,6 +98,7 @@ func (o *Object) SetLSN(lsn uint64) { o.lsn = lsn }
 // Destroy deletes the entire object, returning every segment and index
 // page to the free space without reading a single data page.
 func (o *Object) Destroy() error {
+	o.bumpVersion()
 	if err := o.Trim(); err != nil {
 		return err
 	}

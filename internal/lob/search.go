@@ -1,6 +1,10 @@
 package lob
 
-import "github.com/eosdb/eos/internal/disk"
+import (
+	"sync"
+
+	"github.com/eosdb/eos/internal/disk"
+)
 
 // The search operation (§4.2) locates byte B by binary-searching the
 // counts on the path from the root; at the leaf, byte B within segment S
@@ -48,11 +52,20 @@ func (m *Manager) walkRange(nd *node, off, n int64, visit segmentVisitor) error 
 }
 
 // ReadAt reads len(buf) bytes starting at byte off into buf.
+//
+// With Config.ReadWorkers > 1 a range spanning several segments fans its
+// per-segment multi-page transfers out to the manager's bounded worker
+// pool so they overlap; otherwise the segments are transferred strictly
+// in logical order, which also keeps the volume's seek accounting
+// deterministic for the experiment harness.
 func (o *Object) ReadAt(buf []byte, off int64) error {
 	if err := o.checkRange(off, int64(len(buf))); err != nil {
 		return err
 	}
-	o.m.count(func(s *Stats) { s.Reads++ })
+	o.m.st.reads.Add(1)
+	if o.m.readSem != nil {
+		return o.readAtFanOut(buf, off)
+	}
 	pos := 0
 	return o.m.walkRange(o.root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
 		if err := o.m.readSegRange(seg.ptr, segOff, buf[pos:pos+int(n)]); err != nil {
@@ -61,6 +74,76 @@ func (o *Object) ReadAt(buf []byte, off int64) error {
 		pos += int(n)
 		return nil
 	})
+}
+
+// segSpan is one segment's share of a read: n bytes starting segOff
+// bytes into the segment whose data pages begin at ptr, destined for
+// buf[pos:pos+n].
+type segSpan struct {
+	ptr    disk.PageNum
+	segOff int64
+	pos    int
+	n      int
+}
+
+// readAtFanOut overlaps a multi-segment read's data transfers.  The
+// index walk stays sequential — node reads go through the buffer pool
+// and are usually hits — collecting the segment spans; the spans are
+// then dispatched concurrently, at most ReadWorkers in flight across
+// the whole manager.  Each span writes a disjoint slice of buf, so the
+// workers need no coordination beyond the first-error capture.
+func (o *Object) readAtFanOut(buf []byte, off int64) error {
+	var spans []segSpan
+	pos := 0
+	if err := o.m.walkRange(o.root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
+		spans = append(spans, segSpan{ptr: seg.ptr, segOff: segOff, pos: pos, n: int(n)})
+		pos += int(n)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	if len(spans) == 1 {
+		s := spans[0]
+		return o.m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n])
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for _, s := range spans {
+		o.m.readSem <- struct{}{}
+		wg.Add(1)
+		go func(s segSpan) {
+			defer func() {
+				<-o.m.readSem
+				wg.Done()
+			}()
+			if err := o.m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n]); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}(s)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SegmentRangeAt reports the logical byte range [start, start+n) of the
+// leaf segment containing byte off.  The sequential prefetcher uses it
+// to size its readahead to exactly one segment, preserving the paper's
+// one-request-per-segment transfer discipline.
+func (o *Object) SegmentRangeAt(off int64) (start, n int64, err error) {
+	if err := o.checkRange(off, 1); err != nil {
+		return 0, 0, err
+	}
+	e, entryStart, _, err := o.findSegment(off)
+	if err != nil {
+		return 0, 0, err
+	}
+	return entryStart, e.bytes, nil
 }
 
 // Read returns n bytes starting at off.
@@ -82,7 +165,8 @@ func (o *Object) Replace(off int64, data []byte) error {
 	if err := o.checkRange(off, int64(len(data))); err != nil {
 		return err
 	}
-	o.m.count(func(s *Stats) { s.Replaces++ })
+	o.bumpVersion()
+	o.m.st.replaces.Add(1)
 	pos := int64(0)
 	return o.m.walkRange(o.root, off, int64(len(data)), func(seg entry, segOff, n int64) error {
 		err := o.m.replaceInSegment(seg, segOff, data[pos:pos+n])

@@ -216,7 +216,7 @@ func (m *Manager) writeBackChild(old disk.PageNum, child *node) ([]entry, error)
 		}
 		out = append(out, entry{bytes: nd.size(), ptr: p})
 	}
-	m.count(func(s *Stats) { s.NodeSplits += int64(len(parts) - 1) })
+	m.st.nodeSplits.Add(int64(len(parts) - 1))
 	return out, nil
 }
 
@@ -347,7 +347,7 @@ func (m *Manager) fixUnderflow(nd *node, idx int) error {
 			return err
 		}
 		nd.splice(li, ri+1, []entry{{bytes: merged.size(), ptr: p}})
-		m.count(func(s *Stats) { s.NodeMerges++ })
+		m.st.nodeMerges.Add(1)
 		return nil
 	}
 	// Redistribute evenly (rotation).
@@ -423,10 +423,8 @@ func (m *Manager) compactLeafNode(nd *node, threshold int) error {
 			}
 		}
 		out = append(out, segs...)
-		m.count(func(s *Stats) {
-			s.LeafCompactions++
-			s.SegmentsCompacted += int64(j - i)
-		})
+		m.st.leafCompactions.Add(1)
+		m.st.segmentsCompacted.Add(int64(j - i))
 		i = j
 	}
 	nd.entries = out

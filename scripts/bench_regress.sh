@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# bench_regress.sh — compare the read-path benchmarks against the
+# checked-in baseline and fail on >10% regressions.
+#
+# Usage: scripts/bench_regress.sh [baseline-file]
+#
+# Two benchmark passes run:
+#
+#   gate  — the raw in-memory *Mem benchmarks with -benchmem.  The
+#           hard gate compares allocs/op: allocation counts on the
+#           read path are deterministic, so a >10% increase is a real
+#           code change (extra staging copies, per-read goroutines,
+#           lock-splitting gone wrong), never machine noise.
+#   info  — ns/op deltas for everything, plus the latency-simulated
+#           *Lat benchmarks and a benchstat comparison when benchstat
+#           is installed.  Wall-clock times are printed but do not
+#           fail the script: on shared runners unchanged code drifts
+#           well past any usable threshold (50%+ observed), so a
+#           timing gate would be red noise — eyeball the info rows
+#           and the benchstat table when the gate flags nothing.
+#
+# Regenerate the baseline after intentional read-path changes:
+#
+#   { go test -run '^$' -bench 'BenchmarkParallel.*Mem' -cpu=1,8 \
+#         -benchtime=2000x -count=5 -benchmem . ;
+#     go test -run '^$' -bench 'BenchmarkParallel.*Lat' -cpu=1,8 \
+#         -benchtime=100x -count=3 . ; } > bench/baseline.txt
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-bench/baseline.txt}"
+THRESHOLD_PCT=10
+CURRENT="$(mktemp)"
+trap 'rm -f "$CURRENT"' EXIT
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "baseline $BASELINE not found" >&2
+    exit 2
+fi
+
+echo "running read-path benchmarks (gate: *Mem allocs/op, info: ns/op and *Lat)..."
+{
+    go test -run '^$' -bench 'BenchmarkParallel.*Mem' -cpu=1,8 \
+        -benchtime=2000x -count=5 -benchmem .
+    go test -run '^$' -bench 'BenchmarkParallel.*Lat' -cpu=1,8 \
+        -benchtime=100x -count=3 .
+} | tee "$CURRENT"
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo
+    echo "== benchstat comparison (baseline vs current) =="
+    benchstat "$BASELINE" "$CURRENT"
+fi
+
+# Per-benchmark minima over -count runs (scheduler spikes only ever
+# make a run slower).  allocs/op rows gate; ns/op rows are info.
+awk -v thresh="$THRESHOLD_PCT" '
+function record(file, name, metric, v) {
+    if (!((file, name, metric) in best) || v < best[file, name, metric])
+        best[file, name, metric] = v
+    names[name] = 1
+}
+/^Benchmark/ {
+    file = (FILENAME == base ? "base" : "cur")
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     record(file, $1, "ns", $i)
+        if ($(i + 1) == "allocs/op") record(file, $1, "allocs", $i)
+    }
+}
+END {
+    status = 0
+    printf "\n== regression gate (allocs/op >%d%% fails; ns/op informational) ==\n", thresh
+    for (n in names) {
+        if ((("base" SUBSEP n SUBSEP "ns") in best) && (("cur" SUBSEP n SUBSEP "ns") in best)) {
+            b = best["base", n, "ns"]; c = best["cur", n, "ns"]
+            printf "%-55s ns/op     base %12.0f  cur %12.0f  %+7.1f%%  info\n", n, b, c, (c - b) / b * 100
+        }
+        if ((("base" SUBSEP n SUBSEP "allocs") in best) && (("cur" SUBSEP n SUBSEP "allocs") in best)) {
+            b = best["base", n, "allocs"]; c = best["cur", n, "allocs"]
+            delta = (b > 0) ? (c - b) / b * 100 : (c > 0 ? 100 : 0)
+            flag = "ok"
+            if (delta > thresh) { flag = "REGRESSION"; status = 1 }
+            printf "%-55s allocs/op base %12.0f  cur %12.0f  %+7.1f%%  %s\n", n, b, c, delta, flag
+        }
+    }
+    exit status
+}
+' base="$BASELINE" "$BASELINE" "$CURRENT"

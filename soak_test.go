@@ -2,11 +2,17 @@ package eos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/eosdb/eos/internal/disk"
+	"github.com/eosdb/eos/internal/lob"
 )
 
 // TestSoakCrashRecovery is the end-to-end torture test: random
@@ -245,4 +251,218 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// pattern computes the self-validating byte stored at offset off of
+// stress object i: readers can check any byte against only (i, off),
+// without synchronizing with the writers.
+func pattern(i int, off int64) byte { return byte(int64(i)*31 + off) }
+
+// TestConcurrentReadersOneWriterPerObject exercises the parallel read
+// path end to end under the race detector: per object, one writer
+// mutates (pattern-preserving appends, replaces, truncates, compacts)
+// while several readers — random ReadAt callers and a sequential
+// prefetching scanner — continuously validate content, and a background
+// goroutine takes checkpoints and stats snapshots.  Every mutation
+// preserves the byte = pattern(obj, offset) invariant, so any bytes a
+// reader observes must validate regardless of interleaving.
+func TestConcurrentReadersOneWriterPerObject(t *testing.T) {
+	const (
+		numObjects = 6
+		readersPer = 2
+		maxSize    = 96 << 10
+		duration   = 300 // writer iterations per object
+	)
+	vol := disk.MustNewVolume(2048, 24576, disk.CostModel{})
+	logVol := disk.MustNewVolume(2048, 1024, disk.CostModel{})
+	s, err := Format(vol, logVol, Options{
+		Threshold:          4,
+		PoolShards:         8,
+		ReadConcurrency:    4,
+		SequentialPrefetch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := make([]*Object, numObjects)
+	for i := range objs {
+		o, err := s.Create(fmt.Sprintf("stress-%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 32<<10)
+		for j := range data {
+			data[j] = pattern(i, int64(j))
+		}
+		if err := o.Append(data); err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o
+	}
+
+	var (
+		writers sync.WaitGroup
+		readers sync.WaitGroup
+		stop    atomic.Bool
+		fail    atomic.Value // first error string
+	)
+	report := func(format string, args ...any) {
+		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+		stop.Store(true)
+	}
+
+	// One writer per object.
+	for i, o := range objs {
+		writers.Add(1)
+		go func(i int, o *Object) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			for it := 0; it < duration && !stop.Load(); it++ {
+				size := o.Size()
+				switch op := rng.Intn(10); {
+				case op < 4 && size < maxSize: // append
+					n := 1 + rng.Intn(8<<10)
+					data := make([]byte, n)
+					for j := range data {
+						data[j] = pattern(i, size+int64(j))
+					}
+					if err := o.Append(data); err != nil {
+						report("obj %d append: %v", i, err)
+						return
+					}
+				case op < 7 && size > 0: // pattern-preserving replace
+					off := int64(rng.Intn(int(size)))
+					n := int64(1 + rng.Intn(4<<10))
+					if off+n > size {
+						n = size - off
+					}
+					data := make([]byte, n)
+					for j := range data {
+						data[j] = pattern(i, off+int64(j))
+					}
+					if err := o.Replace(off, data); err != nil {
+						report("obj %d replace: %v", i, err)
+						return
+					}
+				case op < 9 && size > 8<<10: // truncate
+					if err := o.Truncate(size - int64(rng.Intn(4<<10))); err != nil {
+						report("obj %d truncate: %v", i, err)
+						return
+					}
+				default:
+					if err := o.Compact(); err != nil {
+						report("obj %d compact: %v", i, err)
+						return
+					}
+				}
+			}
+		}(i, o)
+	}
+
+	// Random-access readers.
+	for i, o := range objs {
+		for r := 0; r < readersPer; r++ {
+			readers.Add(1)
+			go func(i, r int, o *Object) {
+				defer readers.Done()
+				rng := rand.New(rand.NewSource(int64(2000 + i*10 + r)))
+				buf := make([]byte, 16<<10)
+				for !stop.Load() {
+					size := o.Size()
+					if size == 0 {
+						continue
+					}
+					off := int64(rng.Intn(int(size)))
+					n := int64(1 + rng.Intn(len(buf)))
+					if off+n > size {
+						n = size - off
+					}
+					if err := o.ReadAt(buf[:n], off); err != nil {
+						// The object may have shrunk between Size and
+						// ReadAt; anything else is a real failure.
+						if errors.Is(err, lob.ErrOutOfBounds) {
+							continue
+						}
+						report("obj %d read: %v", i, err)
+						return
+					}
+					for j := int64(0); j < n; j++ {
+						if buf[j] != pattern(i, off+j) {
+							report("obj %d: byte %d = %d, want %d", i, off+j, buf[j], pattern(i, off+j))
+							return
+						}
+					}
+				}
+			}(i, r, o)
+		}
+	}
+
+	// Sequential prefetching scanners.
+	for i, o := range objs {
+		readers.Add(1)
+		go func(i int, o *Object) {
+			defer readers.Done()
+			r := o.NewReader()
+			buf := make([]byte, 8<<10)
+			var pos int64
+			for !stop.Load() {
+				n, err := r.Read(buf)
+				if err != nil {
+					// EOF restarts the scan; out-of-bounds means a
+					// concurrent truncate beat us — rewind.
+					if err == io.EOF || errors.Is(err, lob.ErrOutOfBounds) {
+						if _, err := r.Seek(0, io.SeekStart); err != nil {
+							report("obj %d seek: %v", i, err)
+							return
+						}
+						pos = 0
+						continue
+					}
+					report("obj %d scan: %v", i, err)
+					return
+				}
+				for j := 0; j < n; j++ {
+					if buf[j] != pattern(i, pos+int64(j)) {
+						report("obj %d scan: byte %d = %d, want %d", i, pos+int64(j), buf[j], pattern(i, pos+int64(j)))
+						return
+					}
+				}
+				pos += int64(n)
+			}
+		}(i, o)
+	}
+
+	// Checkpoints and stats snapshots while everything runs.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for !stop.Load() {
+			if err := s.Checkpoint(); err != nil {
+				report("checkpoint: %v", err)
+				return
+			}
+			st := s.Stats()
+			if st.PoolHitRate < 0 || st.PoolHitRate > 1 {
+				report("hit rate %v out of range", st.PoolHitRate)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Writers finishing ends the run: flag the readers down, drain
+	// everyone, then verify structural integrity at quiescence.
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckNoLeaks(); err != nil {
+		t.Fatal(err)
+	}
 }
