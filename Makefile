@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race lint eoslint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full static analysis: eoslint plus golangci-lint and govulncheck
+# when installed (scripts/lint.sh skips missing external tools).
+lint:
+	scripts/lint.sh
+
+# Just the repo's own invariant analyzers.
+eoslint:
+	scripts/lint.sh eoslint
+
+bench:
+	scripts/bench_regress.sh

@@ -77,7 +77,9 @@ func (s *Store) writeCatalog() error {
 			}
 			copy(img, buf[lo:hi])
 		}
-		s.pool.Unpin(disk.PageNum(1 + p))
+		if err := s.pool.Unpin(disk.PageNum(1 + p)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -93,7 +95,9 @@ func (s *Store) readCatalog() error {
 			return err
 		}
 		buf = append(buf, img...)
-		s.pool.Unpin(disk.PageNum(1 + p))
+		if err := s.pool.Unpin(disk.PageNum(1 + p)); err != nil {
+			return err
+		}
 	}
 	if binary.BigEndian.Uint32(buf[0:]) != catalogMagic {
 		return fmt.Errorf("%w: bad catalog magic", ErrCorruptStore)

@@ -1,0 +1,68 @@
+// Command eoslint runs the storage engine's custom static analyzers
+// (pinpair, lockorder, atomicfield, walfirst, errwrap) over Go
+// packages.
+//
+// Usage:
+//
+//	go run ./cmd/eoslint ./...     # analyze packages (drives go vet)
+//	eoslint help [analyzer]        # describe analyzers and flags
+//
+// The binary speaks the `go vet -vettool` unitchecker protocol
+// (-V=full, -flags, unit.cfg); invoked with ordinary package patterns
+// it re-executes itself through `go vet -vettool=<self>`, so one
+// binary serves both as the driver and as the vet backend, and the
+// analysis benefits from go vet's build cache and modular fact
+// propagation.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	eosanalysis "github.com/eosdb/eos/internal/analysis"
+)
+
+func main() {
+	if vetProtocol(os.Args[1:]) {
+		unitchecker.Main(eosanalysis.Analyzers()...) // does not return
+	}
+
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eoslint: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "eoslint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether args look like a `go vet -vettool`
+// invocation (or an explicit unitchecker request such as `help`)
+// rather than package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || a == "help" ||
+			strings.HasPrefix(a, "-V") || strings.HasPrefix(a, "-flags") {
+			return true
+		}
+	}
+	return false
+}

@@ -295,14 +295,16 @@ func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if binary.BigEndian.Uint32(img[0:]) != storeMagic || img[4] != storeVersion {
-		pool.Unpin(0)
+		_ = pool.Unpin(0) // the corrupt-header error takes precedence
 		return nil, fmt.Errorf("%w: bad header", ErrCorruptStore)
 	}
 	opts.NumSpaces = int(binary.BigEndian.Uint32(img[8:]))
 	opts.SpaceCapacity = int(binary.BigEndian.Uint32(img[12:]))
 	opts.CatalogPages = int(binary.BigEndian.Uint32(img[16:]))
 	nextID := binary.BigEndian.Uint64(img[20:])
-	pool.Unpin(0)
+	if err := pool.Unpin(0); err != nil {
+		return nil, err
+	}
 
 	// Spaces.
 	bm := buddy.NewManager(pool, !opts.DisableSuperdirectory)
@@ -458,11 +460,11 @@ func (s *Store) CopyObject(src, dst string) error {
 	}
 	a := to.OpenAppender(from.Size())
 	if _, err := from.NewReader().WriteTo(a); err != nil {
-		s.Destroy(dst)
+		_ = s.Destroy(dst) // best-effort rollback; the copy error takes precedence
 		return err
 	}
 	if err := a.Close(); err != nil {
-		s.Destroy(dst)
+		_ = s.Destroy(dst)
 		return err
 	}
 	return nil

@@ -1,0 +1,29 @@
+// Package analysis collects the eoslint analyzer suite: the custom
+// go/analysis checkers that machine-enforce the storage engine's
+// concurrency and recovery invariants (pin pairing, latch order,
+// atomics discipline, the §4.5 write-ahead rule, and error wrapping).
+//
+// The suite runs under `go vet` via cmd/eoslint and in CI via
+// scripts/lint.sh; see the "Static analysis" section of README.md.
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	"github.com/eosdb/eos/internal/analysis/atomicfield"
+	"github.com/eosdb/eos/internal/analysis/errwrap"
+	"github.com/eosdb/eos/internal/analysis/lockorder"
+	"github.com/eosdb/eos/internal/analysis/pinpair"
+	"github.com/eosdb/eos/internal/analysis/walfirst"
+)
+
+// Analyzers returns the eoslint suite.
+func Analyzers() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		pinpair.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
+		walfirst.Analyzer,
+		errwrap.Analyzer,
+	}
+}

@@ -1,0 +1,318 @@
+// Package analyzertest runs an analyzer against fixture packages and
+// checks its diagnostics against expectations, mirroring the core of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The x/tools analysistest package depends on go/packages, which is
+// not part of the toolchain-vendored subset of x/tools this repo
+// builds against, so this harness loads fixtures itself: each fixture
+// package lives in testdata/src/<path>/, is parsed and type-checked
+// with the standard library resolved from source (offline), and local
+// fixture imports resolved from sibling testdata directories.
+//
+// Expectations use the analysistest comment syntax: a comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on a source line asserts that the analyzer reports, on that exact
+// line, one diagnostic matching each regexp.  Diagnostics without a
+// matching expectation and expectations without a matching diagnostic
+// both fail the test, so a fixture with no want comments asserts the
+// analyzer is silent ("clean" fixtures guarding false positives).
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each named fixture package under dir (conventionally
+// "testdata") with a and checks the diagnostics against the fixtures'
+// want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			fp, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %q: %v", path, err)
+			}
+			diags, err := runAnalyzer(a, fp, make(map[*analysis.Analyzer]interface{}))
+			if err != nil {
+				t.Fatalf("running %s on %q: %v", a.Name, path, err)
+			}
+			check(t, fp, diags)
+		})
+	}
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader loads fixture packages, resolving imports from testdata
+// first and the standard library (from source) second.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	std    types.Importer
+	cache  map[string]*fixturePkg
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcDir: filepath.Join(dir, "src"),
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*fixturePkg),
+	}
+}
+
+// Import implements types.Importer over testdata-local packages with a
+// standard-library fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.srcDir, path)); err == nil {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at srcDir/path.
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.cache[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{fset: l.fset, files: files, pkg: pkg, info: info}
+	l.cache[path] = fp
+	return fp, nil
+}
+
+// runAnalyzer runs a (and, recursively, its Requires) over fp,
+// returning a's diagnostics.  results memoizes prerequisite results.
+func runAnalyzer(a *analysis.Analyzer, fp *fixturePkg, results map[*analysis.Analyzer]interface{}) ([]analysis.Diagnostic, error) {
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		if _, ok := results[req]; !ok {
+			if _, err := runAnalyzer(req, fp, results); err != nil {
+				return nil, fmt.Errorf("prerequisite %s: %w", req.Name, err)
+			}
+		}
+		resultOf[req] = results[req]
+	}
+	var diags []analysis.Diagnostic
+	facts := newFactStore()
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fp.fset,
+		Files:             fp.files,
+		Pkg:               fp.pkg,
+		TypesInfo:         fp.info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          resultOf,
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  facts.importObjectFact,
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  facts.exportObjectFact,
+		ExportPackageFact: func(analysis.Fact) {},
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		AllObjectFacts:    facts.allObjectFacts,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// factStore is a minimal in-memory object-fact table, enough for
+// prerequisite analyzers (ctrlflow) that export facts within one
+// package.  Cross-package fact import is not supported; fixtures keep
+// fact-relevant code in one package.
+type factStore struct {
+	facts map[factKey]analysis.Fact
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{facts: make(map[factKey]analysis.Fact)}
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	s.facts[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *factStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	if f, ok := s.facts[factKey{obj, reflect.TypeOf(fact)}]; ok {
+		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+		return true
+	}
+	return false
+}
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, f := range s.facts {
+		out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+	}
+	return out
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// check matches diagnostics against want comments.
+func check(t *testing.T, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fp.fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fp.fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if !e.met && e.file == pos.Filename && e.line == pos.Line && e.rx.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// splitQuoted extracts the quoted regexps of one want comment.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "*/")
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want comment near %q (expected quoted regexp)", pos, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, raw)
+		s = s[end+1:]
+	}
+	return out
+}

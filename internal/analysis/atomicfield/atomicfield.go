@@ -1,0 +1,136 @@
+// Package atomicfield defines an Analyzer that enforces all-or-nothing
+// atomicity on struct fields: a field that is accessed through the
+// sync/atomic functions anywhere in a package must be accessed
+// atomically everywhere in that package.
+//
+// A single plain load of a counter that other goroutines update with
+// atomic.AddInt64 is a data race the race detector only reports when
+// the exact interleaving fires; on weakly ordered hardware it can also
+// read torn or stale values.  The engine's convention is the typed
+// atomics (atomic.Int64 and friends), which make plain access
+// impossible by construction; this analyzer catches the remaining
+// function-style usage (atomic.AddInt64(&s.n, 1) in one place, s.n in
+// another).
+//
+// The check is package-local, which fits the engine: every atomically
+// accessed field is unexported, so all of its accesses are in one
+// package.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/eosdb/eos/internal/analysis/eosutil"
+	"github.com/eosdb/eos/internal/analysis/ignore"
+)
+
+const doc = `check that fields accessed with sync/atomic are never accessed plainly
+
+A struct field updated via atomic.AddInt64/StoreInt64/... in one place
+and read with a plain selector in another races: the plain read can be
+torn, stale, or reordered.  Use the atomic Load for every read of such
+a field (or migrate the field to the typed atomics, which enforce this
+by construction).`
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ig := ignore.For(pass)
+
+	// Pass 1: find fields whose address is taken by a sync/atomic call,
+	// and remember those argument expressions so pass 2 can exempt them.
+	atomicFields := make(map[*types.Var][]*ast.CallExpr)
+	atomicArgs := make(map[ast.Expr]bool) // the &x.f (and x.f) inside atomic calls
+	callFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	insp.Preorder(callFilter, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicFn(pass.TypesInfo, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			field := fieldOf(pass.TypesInfo, sel)
+			if field == nil {
+				continue
+			}
+			atomicFields[field] = append(atomicFields[field], call)
+			atomicArgs[un] = true
+			atomicArgs[un.X] = true
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other access to those fields must not be plain.
+	selFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	insp.Preorder(selFilter, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if atomicArgs[sel] {
+			return
+		}
+		field := fieldOf(pass.TypesInfo, sel)
+		if field == nil {
+			return
+		}
+		if _, ok := atomicFields[field]; !ok {
+			return
+		}
+		ig.Report(sel.Pos(),
+			"plain access to field %s, which is accessed with sync/atomic elsewhere in this package; use atomic loads/stores everywhere (or a typed atomic)",
+			field.Name())
+	})
+	return nil, nil
+}
+
+// isAtomicFn reports whether call invokes a package-level sync/atomic
+// access function (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicFn(info *types.Info, call *ast.CallExpr) bool {
+	fn := eosutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // typed-atomic methods are safe by construction
+	}
+	name := fn.Name()
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

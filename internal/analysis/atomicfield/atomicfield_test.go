@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analyzertest.Run(t, "../testdata", atomicfield.Analyzer, "atomicfield_bad", "atomicfield_clean")
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analyzertest.Run(t, "../testdata", errwrap.Analyzer, "errwrap_bad", "errwrap_clean")
+}

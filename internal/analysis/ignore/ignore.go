@@ -1,0 +1,152 @@
+// Package ignore implements eoslint's diagnostic suppression comments.
+//
+// A comment of the form
+//
+//	//eoslint:ignore <name>[,<name>...] -- <reason>
+//
+// on the same line as a diagnostic, or on the line immediately above
+// it, suppresses diagnostics from the named analyzers ("all" matches
+// every analyzer).  The same directive inside a function's doc comment
+// suppresses the named analyzers for the whole function body.  The
+// reason is mandatory: an invariant exception with no stated
+// justification is itself reported by each analyzer through Report.
+package ignore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "eoslint:ignore"
+
+// directive is one parsed //eoslint:ignore comment.
+type directive struct {
+	names  []string
+	reason string
+}
+
+// span is a function body covered by a doc-comment directive.
+type span struct {
+	start, end token.Pos
+	directive
+}
+
+// List holds the parsed suppression directives of one package.
+type List struct {
+	pass *analysis.Pass
+	// byLine maps file:line to the directives ending on that line.
+	byLine map[string][]directive
+	// spans are function bodies suppressed by doc-comment directives.
+	spans []span
+}
+
+// For parses every //eoslint:ignore directive in the files of pass.
+func For(pass *analysis.Pass) *List {
+	l := &List{pass: pass, byLine: make(map[string][]directive)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.End())
+				key := lineKey(pos.Filename, pos.Line)
+				l.byLine[key] = append(l.byLine[key], d)
+			}
+		}
+		// A directive in a function's doc comment covers its whole body.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if d, ok := parse(c.Text); ok {
+					l.spans = append(l.spans, span{start: fn.Body.Pos(), end: fn.Body.End(), directive: d})
+				}
+			}
+		}
+	}
+	return l
+}
+
+// parse extracts a directive from one comment's text.
+func parse(text string) (directive, bool) {
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(text, prefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	var reason string
+	if i := strings.Index(rest, "--"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+2:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	names := strings.Split(rest, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return directive{names: names, reason: reason}, true
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// match returns the directive suppressing analyzer name at pos, if any.
+func (l *List) match(pos token.Pos, name string) (directive, bool) {
+	p := l.pass.Fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range l.byLine[lineKey(p.Filename, line)] {
+			for _, n := range d.names {
+				if n == name || n == "all" {
+					return d, true
+				}
+			}
+		}
+	}
+	for _, s := range l.spans {
+		if pos < s.start || pos > s.end {
+			continue
+		}
+		for _, n := range s.names {
+			if n == name || n == "all" {
+				return s.directive, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// Report emits a diagnostic for the analyzer of pass at pos unless an
+// //eoslint:ignore directive covers it.  A covering directive with no
+// "-- reason" clause is reported instead: exceptions to a storage
+// invariant must say why they are safe.
+func (l *List) Report(pos token.Pos, format string, args ...interface{}) {
+	d, ok := l.match(pos, l.pass.Analyzer.Name)
+	if !ok {
+		l.pass.Reportf(pos, format, args...)
+		return
+	}
+	if d.reason == "" {
+		l.pass.Reportf(pos, "eoslint:ignore %s without a '-- reason' clause", l.pass.Analyzer.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analyzertest.Run(t, "../testdata", lockorder.Analyzer, "lockorder_bad", "lockorder_clean")
+}

@@ -1,0 +1,292 @@
+// Package pinpair defines an Analyzer that enforces the buffer pool's
+// pin discipline: every page image obtained from buffer.Pool.Fix or
+// buffer.Pool.FixNew must be released with a matching Unpin on every
+// path out of the function, usually via defer.
+//
+// A leaked pin is the quietest possible storage bug: the frame is
+// never evictable again, the pool's working set shrinks by one frame
+// forever, and under load the pool eventually reports ErrNoFrames on a
+// path nowhere near the leak.  The analyzer walks the control-flow
+// graph from each Fix site and reports any path that can reach a
+// return without passing a matching Unpin call or registering a
+// matching deferred Unpin.
+//
+// The error-check branch that immediately guards the Fix call (`if err
+// != nil { return ... }` on the same err variable) is exempt: when Fix
+// fails no pin was taken.  Test files are exempt entirely: the pool's
+// own tests hold pins across assertions deliberately to exercise
+// eviction and pin-count semantics.
+package pinpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/eosdb/eos/internal/analysis/eosutil"
+	"github.com/eosdb/eos/internal/analysis/ignore"
+)
+
+const doc = `check that every buffer.Pool Fix/FixNew is paired with Unpin on all paths
+
+A pinned frame that is never unpinned is permanently unevictable; the
+pool degrades one leaked frame at a time until Fix fails with
+ErrNoFrames far from the leak.  Every path from a Fix or FixNew call to
+a function exit must unpin the same page, directly or via defer.`
+
+// Analyzer is the pinpair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "pinpair",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// pinSite is one Fix/FixNew call: the page argument expression and the
+// error variable its result was assigned to (nil when discarded).
+type pinSite struct {
+	call   *ast.CallExpr
+	method string
+	argKey string
+	errVar types.Object
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ig := ignore.For(pass)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	insp.Preorder(nodeFilter, func(n ast.Node) {
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
+		var body *ast.BlockStmt
+		var g *cfg.CFG
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return
+			}
+			body = fn.Body
+			g = cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			body = fn.Body
+			g = cfgs.FuncLit(fn)
+		}
+		if g == nil {
+			return
+		}
+		checkFunc(pass, ig, body, g)
+	})
+	return nil, nil
+}
+
+// checkFunc checks the pin sites of one function body.  Nested
+// function literals are visited separately by run (a pin taken in a
+// closure must be released in that closure), so calls inside them are
+// not attributed to the enclosing function — except deferred literals,
+// which run on the enclosing function's exit and may carry its Unpin.
+func checkFunc(pass *analysis.Pass, ig *ignore.List, body *ast.BlockStmt, g *cfg.CFG) {
+	sites := collectPins(pass, body)
+	if len(sites) == 0 {
+		return
+	}
+	for _, site := range sites {
+		if leaks(pass, g, site) {
+			ig.Report(site.call.Pos(),
+				"%s(%s) result can leak its pin: a path reaches return without Unpin(%s) (add defer Unpin after the error check)",
+				site.method, site.argKey, site.argKey)
+		}
+	}
+}
+
+// collectPins finds the Fix/FixNew calls lexically inside body but not
+// inside a nested function literal.
+func collectPins(pass *analysis.Pass, body *ast.BlockStmt) []*pinSite {
+	var sites []*pinSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m, ok := eosutil.IsMethodCall(pass.TypesInfo, call, "buffer", "Pool", "Fix", "FixNew")
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sites = append(sites, &pinSite{
+			call:   call,
+			method: m,
+			argKey: types.ExprString(call.Args[0]),
+		})
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+	// Attach the err variable each pin's result is assigned to, so the
+	// immediate `if err != nil` guard can be recognized.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, site := range sites {
+			if site.call == call {
+				if id, ok := as.Lhs[1].(*ast.Ident); ok {
+					site.errVar = pass.TypesInfo.ObjectOf(id)
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// leaks reports whether some path from site's block to a function exit
+// passes neither a matching Unpin nor a matching deferred Unpin.
+func leaks(pass *analysis.Pass, g *cfg.CFG, site *pinSite) bool {
+	// Locate the block holding the Fix call and the node index after it.
+	start, startIdx := findNode(g, site.call)
+	if start == nil {
+		return false // CFG elided the call (dead code)
+	}
+
+	seen := map[*cfg.Block]bool{start: true}
+	var visit func(b *cfg.Block, from int) bool
+	visit = func(b *cfg.Block, from int) bool {
+		if b != start || from == 0 {
+			if b != start {
+				if seen[b] {
+					return false
+				}
+				seen[b] = true
+			} else if seen[start] {
+				return false // looped back to the pin block
+			}
+			// The then-branch of the Fix call's own error check runs
+			// only when no pin was taken.
+			if isErrGuard(pass, b, site) {
+				return false
+			}
+		}
+		for i := from; i < len(b.Nodes); i++ {
+			if nodeUnpins(pass, b.Nodes[i], site) {
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			// Exit block: a leak unless it is unreachable filler.
+			return b.Kind != cfg.KindUnreachable
+		}
+		for _, s := range b.Succs {
+			if visit(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(start, startIdx+1)
+}
+
+// findNode returns the live block containing n and its node index.
+func findNode(g *cfg.CFG, target ast.Node) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == target {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// isErrGuard reports whether b is the then-branch of an `if err != nil`
+// statement testing the err variable assigned from this pin site.
+func isErrGuard(pass *analysis.Pass, b *cfg.Block, site *pinSite) bool {
+	if site.errVar == nil || b.Kind != cfg.KindIfThen {
+		return false
+	}
+	ifStmt, ok := b.Stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	if x, ok := bin.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(x) == site.errVar {
+		id = x
+	} else if y, ok := bin.Y.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(y) == site.errVar {
+		id = y
+	}
+	return id != nil
+}
+
+// nodeUnpins reports whether CFG node n releases site's pin: a direct
+// Unpin call with the same page argument, or a defer (of the call
+// itself or of a literal containing it).
+func nodeUnpins(pass *analysis.Pass, n ast.Node, site *pinSite) bool {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if callMatches(pass, n.Call, site) {
+			return true
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			found := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && callMatches(pass, call, site) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+		return false
+	default:
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // a non-deferred closure may never run
+			}
+			if call, ok := m.(*ast.CallExpr); ok && callMatches(pass, call, site) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+// callMatches reports whether call is Unpin (or Discard, which also
+// releases the frame) on the same page expression as site.
+func callMatches(pass *analysis.Pass, call *ast.CallExpr, site *pinSite) bool {
+	if _, ok := eosutil.IsMethodCall(pass.TypesInfo, call, "buffer", "Pool", "Unpin", "Discard"); !ok {
+		return false
+	}
+	return len(call.Args) == 1 && types.ExprString(call.Args[0]) == site.argKey
+}

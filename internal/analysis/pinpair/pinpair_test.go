@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/pinpair"
+)
+
+func TestPinpair(t *testing.T) {
+	analyzertest.Run(t, "../testdata", pinpair.Analyzer, "pinpair_bad", "pinpair_clean")
+}

@@ -1,0 +1,41 @@
+// Package atomicfield_bad holds mixed atomic/plain field accesses that
+// atomicfield must report.
+package atomicfield_bad
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.hits // want "plain access to field hits"
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want "plain access to field hits"
+	s.misses = 0
+}
+
+type gauge struct {
+	level uint32
+}
+
+func (g *gauge) set(v uint32) {
+	atomic.StoreUint32(&g.level, v)
+}
+
+func (g *gauge) equal(v uint32) bool {
+	return g.level == v // want "plain access to field level"
+}
+
+// suppressedWithoutReason must still justify the exception.
+func (s *stats) racyPeek() int64 {
+	//eoslint:ignore atomicfield
+	return s.hits // want "eoslint:ignore atomicfield without a '-- reason' clause"
+}

@@ -1,0 +1,34 @@
+// Package atomicfield_clean holds consistent field access that
+// atomicfield must accept without diagnostics.
+package atomicfield_clean
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64 // always accessed via sync/atomic
+	cold int64 // never accessed via sync/atomic
+	typd atomic.Int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) swapOut() int64 {
+	return atomic.SwapInt64(&s.hits, 0)
+}
+
+func (s *stats) touchCold() {
+	s.cold++
+}
+
+// Typed atomics enforce the discipline by construction; their methods
+// are not the package-level functions and the field is never flagged.
+func (s *stats) typed() int64 {
+	s.typd.Add(1)
+	return s.typd.Load()
+}

@@ -1,0 +1,35 @@
+// Package errwrap_bad holds error-idiom violations errwrap must
+// report.
+package errwrap_bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNoSpace = errors.New("no space")
+
+// wrapWithV severs the Is/As chain.
+func wrapWithV(err error, pg int) error {
+	return fmt.Errorf("fixing page %d: %v", pg, err) // want "error formatted without %w"
+}
+
+// wrapWithS also severs the chain.
+func wrapWithS(err error) error {
+	return fmt.Errorf("alloc failed: %s", err) // want "error formatted without %w"
+}
+
+// wrapOnlyOne wraps one of two error operands.
+func wrapOnlyOne(e1, e2 error) error {
+	return fmt.Errorf("flush: %w (after %v)", e1, e2) // want "error formatted without %w"
+}
+
+// compareEq stops matching once any layer wraps the sentinel.
+func compareEq(err error) bool {
+	return err == ErrNoSpace // want "error compared with =="
+}
+
+// compareNeq is the negated form.
+func compareNeq(err error) bool {
+	return err != ErrNoSpace // want "error compared with !="
+}

@@ -1,0 +1,36 @@
+// Package errwrap_clean holds the engine's error idiom done right;
+// errwrap must accept it without diagnostics.
+package errwrap_clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNoSpace = errors.New("no space")
+
+// wrap keeps the cause chain walkable.
+func wrap(err error, pg int) error {
+	return fmt.Errorf("fixing page %d: %w", pg, err)
+}
+
+// wrapBoth wraps every error operand.
+func wrapBoth(e1, e2 error) error {
+	return fmt.Errorf("flush: %w (after %w)", e1, e2)
+}
+
+// match uses errors.Is so wrapped sentinels still match.
+func match(err error) bool {
+	return errors.Is(err, ErrNoSpace)
+}
+
+// nilCheck is not a sentinel comparison; comparing against nil is the
+// idiomatic presence test.
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// plainFormat has no error operands at all.
+func plainFormat(pg int) error {
+	return fmt.Errorf("bad page %d", pg)
+}

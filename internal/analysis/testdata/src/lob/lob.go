@@ -1,0 +1,17 @@
+// Package lob is a stand-in for the engine's large-object layer with
+// the mutator set walfirst matches on.
+package lob
+
+// Object is the stand-in large object.
+type Object struct{}
+
+func (o *Object) Append(b []byte) error                 { return nil }
+func (o *Object) AppendWithHint(b []byte, h int) error  { return nil }
+func (o *Object) Insert(off int64, b []byte) error      { return nil }
+func (o *Object) Delete(off, n int64) error             { return nil }
+func (o *Object) Replace(off int64, b []byte) error     { return nil }
+func (o *Object) Destroy() error                        { return nil }
+func (o *Object) Truncate(n int64) error                { return nil }
+func (o *Object) Compact() error                        { return nil }
+func (o *Object) Read(off int64, b []byte) (int, error) { return 0, nil }
+func (o *Object) Size() int64                           { return 0 }

@@ -1,0 +1,45 @@
+// Package lockorder_bad holds lattice inversions lockorder must
+// report.  The lattice keys match by type and field name, so the
+// stand-in types here rank exactly like the engine's.
+package lockorder_bad
+
+import "sync"
+
+type Store struct{ mu sync.Mutex }
+
+type catEntry struct{ latch sync.RWMutex }
+
+type shard struct{ mu sync.Mutex }
+
+type Log struct{ mu sync.Mutex }
+
+type Volume struct {
+	mu    sync.Mutex
+	accMu sync.Mutex
+}
+
+// invertedPair takes the pool shard before the store manager.
+func invertedPair(s *Store, sh *shard) {
+	sh.mu.Lock()
+	s.mu.Lock() // want "lock order inversion: acquiring Store.mu \\(rank 10, manager\\) while holding shard.mu"
+	s.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// invertedUnderDefer holds the WAL latch to function exit via defer and
+// then reaches down for an object latch.
+func invertedUnderDefer(l *Log, e *catEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.latch.RLock() // want "lock order inversion: acquiring catEntry.latch"
+	e.latch.RUnlock()
+}
+
+// invertedWithinVolume takes the access-time accounting lock before the
+// volume image lock.
+func invertedWithinVolume(v *Volume) {
+	v.accMu.Lock()
+	defer v.accMu.Unlock()
+	v.mu.Lock() // want "lock order inversion: acquiring Volume.mu"
+	v.mu.Unlock()
+}

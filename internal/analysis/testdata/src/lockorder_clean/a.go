@@ -1,0 +1,60 @@
+// Package lockorder_clean holds lattice-respecting locking that
+// lockorder must accept without diagnostics.
+package lockorder_clean
+
+import "sync"
+
+type Store struct{ mu sync.Mutex }
+
+type catEntry struct{ latch sync.RWMutex }
+
+type shard struct{ mu sync.Mutex }
+
+type Log struct{ mu sync.Mutex }
+
+// nestedDownward acquires strictly down the lattice.
+func nestedDownward(s *Store, e *catEntry, sh *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.latch.RLock()
+	defer e.latch.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+}
+
+// sequential never holds two ranked locks at once, so rank order
+// between the sections does not matter.
+func sequential(l *Log, s *Store) {
+	l.mu.Lock()
+	l.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// releasedBeforeDescent drops the higher lock before going back up.
+func releasedBeforeDescent(e *catEntry, sh *shard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	e.latch.Lock()
+	e.latch.Unlock()
+}
+
+// closureIsSeparate: a goroutine body is its own acquisition context;
+// the enclosing function's held set does not apply to it.
+func closureIsSeparate(l *Log, s *Store) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+}
+
+// unranked locks are outside the lattice and never constrained.
+func unranked(l *Log) {
+	var local sync.Mutex
+	l.mu.Lock()
+	local.Lock()
+	local.Unlock()
+	l.mu.Unlock()
+}

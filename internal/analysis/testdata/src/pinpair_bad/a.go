@@ -1,0 +1,64 @@
+// Package pinpair_bad holds pin-discipline violations pinpair must
+// report.
+package pinpair_bad
+
+import "buffer"
+
+// leak never unpins on the success path.
+func leak(pool *buffer.Pool, pg buffer.PageID) error {
+	img, err := pool.Fix(pg) // want "Fix\\(pg\\) result can leak its pin"
+	if err != nil {
+		return err
+	}
+	_ = img.Data
+	return nil
+}
+
+// leakOnOnePath unpins on the fall-through return but not on the early
+// return.
+func leakOnOnePath(pool *buffer.Pool, pg buffer.PageID, cond bool) error {
+	img, err := pool.Fix(pg) // want "Fix\\(pg\\) result can leak its pin"
+	if err != nil {
+		return err
+	}
+	_ = img.Data
+	if cond {
+		return nil
+	}
+	return pool.Unpin(pg)
+}
+
+// leakFixNew leaks a freshly allocated frame.
+func leakFixNew(pool *buffer.Pool, pg buffer.PageID) {
+	img, err := pool.FixNew(pg) // want "FixNew\\(pg\\) result can leak its pin"
+	if err != nil {
+		return
+	}
+	pool.MarkDirty(pg)
+	_ = img
+}
+
+// leakInLoop leaks when break exits before the unpin.
+func leakInLoop(pool *buffer.Pool, pages []buffer.PageID) error {
+	for _, pg := range pages {
+		img, err := pool.Fix(pg) // want "Fix\\(pg\\) result can leak its pin"
+		if err != nil {
+			return err
+		}
+		if len(img.Data) == 0 {
+			break
+		}
+		if err := pool.Unpin(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suppressedWithoutReason is ignored but gives no justification; the
+// missing reason is itself a diagnostic.
+func suppressedWithoutReason(pool *buffer.Pool, pg buffer.PageID) {
+	//eoslint:ignore pinpair
+	img, _ := pool.Fix(pg) // want "eoslint:ignore pinpair without a '-- reason' clause"
+	_ = img
+}

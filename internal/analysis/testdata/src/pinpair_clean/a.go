@@ -1,0 +1,82 @@
+// Package pinpair_clean holds correct pin usage pinpair must accept
+// without diagnostics.
+package pinpair_clean
+
+import "buffer"
+
+// deferred is the canonical pattern: defer Unpin right after the error
+// check.
+func deferred(pool *buffer.Pool, pg buffer.PageID) error {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(pg)
+	_ = img.Data
+	return nil
+}
+
+// direct unpins explicitly on every return path.
+func direct(pool *buffer.Pool, pg buffer.PageID, cond bool) error {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return err
+	}
+	_ = img.Data
+	if cond {
+		return pool.Unpin(pg)
+	}
+	return pool.Unpin(pg)
+}
+
+// deferredClosure releases the pin inside a deferred function literal.
+func deferredClosure(pool *buffer.Pool, pg buffer.PageID) error {
+	img, err := pool.FixNew(pg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = pool.Unpin(pg)
+	}()
+	img.Data = append(img.Data, 0)
+	pool.MarkDirty(pg)
+	return nil
+}
+
+// discarded releases the frame via Discard instead of Unpin.
+func discarded(pool *buffer.Pool, pg buffer.PageID) error {
+	img, err := pool.FixNew(pg)
+	if err != nil {
+		return err
+	}
+	_ = img
+	return pool.Discard(pg)
+}
+
+// loopPaired unpins before every way out of the loop body.
+func loopPaired(pool *buffer.Pool, pages []buffer.PageID) error {
+	for _, pg := range pages {
+		img, err := pool.Fix(pg)
+		if err != nil {
+			return err
+		}
+		empty := len(img.Data) == 0
+		if err := pool.Unpin(pg); err != nil {
+			return err
+		}
+		if empty {
+			break
+		}
+	}
+	return nil
+}
+
+// suppressedWithReason documents why the pin outlives the function.
+func suppressedWithReason(pool *buffer.Pool, pg buffer.PageID) *buffer.Image {
+	//eoslint:ignore pinpair -- pin is transferred to the caller, which unpins via Close
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return nil
+	}
+	return img
+}

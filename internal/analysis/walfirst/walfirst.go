@@ -1,0 +1,187 @@
+// Package walfirst defines an Analyzer that enforces the paper's §4.5
+// write-ahead rule at the transaction layer: inside a transactional
+// method, no object mutation may execute before the corresponding
+// write-ahead log record has been appended.
+//
+// In this engine the WAL boundary lives in the Txn methods (txn.go):
+// each operation appends its log record via (*wal.Log).Append and only
+// then calls the mutating lob.Object method.  The layers below are
+// safe by construction — index-page updates are shadowed (§4.5: "the
+// other three operations shadow"), so internal/lob and internal/buddy
+// never overwrite committed state in place; the one in-place update,
+// Replace, is exactly the one whose pre-image and extents the Txn
+// method logs first.  The analyzer therefore checks every method whose
+// receiver type is named by -recv (default "Txn"): each call to a
+// mutating object method must be dominated, on every control-flow
+// path from function entry, by a wal log append.
+//
+// Txn.Abort legitimately violates the letter of the rule — logical
+// undo replays pre-images that the forward operations already logged,
+// and the abort record is forced before any freed page becomes
+// reusable — and carries an //eoslint:ignore walfirst directive with
+// that justification.
+package walfirst
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/eosdb/eos/internal/analysis/eosutil"
+	"github.com/eosdb/eos/internal/analysis/ignore"
+)
+
+const doc = `check that transactional mutations are preceded by a WAL append (§4.5)
+
+Within a transaction method, a mutating object call that can execute
+before its log record is appended breaks recovery: a crash between the
+mutation and the append leaves a change on disk that the log cannot
+redo or undo.  Every path from function entry to a mutation must pass
+a (*wal.Log).Append call first.`
+
+// Analyzer is the walfirst analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "walfirst",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+var recvFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&recvFlag, "recv", "Txn",
+		"comma-separated receiver type names whose methods must log before mutating")
+}
+
+// mutators are the lob.Object methods that change object state.
+// SetLSN and Rebind are bookkeeping, Read/Size/EncodeDescriptor and
+// friends are pure; everything here either moves bytes or frees pages.
+var mutators = []string{
+	"Append", "AppendWithHint", "Insert", "Delete", "Replace",
+	"Destroy", "Truncate", "Compact",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	recvs := make(map[string]bool)
+	for _, r := range strings.Split(recvFlag, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			recvs[r] = true
+		}
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ig := ignore.For(pass)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil)}
+	insp.Preorder(nodeFilter, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || decl.Recv == nil {
+			return
+		}
+		if !recvs[recvTypeName(decl)] {
+			return
+		}
+		g := cfgs.FuncDecl(decl)
+		if g == nil {
+			return
+		}
+		checkFunc(pass, ig, g)
+	})
+	return nil, nil
+}
+
+// recvTypeName returns the receiver type name of decl ("Txn" for
+// `func (t *Txn) ...`).
+func recvTypeName(decl *ast.FuncDecl) string {
+	if len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkFunc reports every mutating call reachable from entry on a path
+// with no prior WAL append.  The walk scans each block's nodes in
+// order and stops a path at the first append: everything dominated by
+// it is safe.
+func checkFunc(pass *analysis.Pass, ig *ignore.List, g *cfg.CFG) {
+	if len(g.Blocks) == 0 {
+		return
+	}
+	reported := make(map[*ast.CallExpr]bool)
+	seen := make(map[*cfg.Block]bool)
+	var visit func(b *cfg.Block)
+	visit = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			logged := false
+			scanNode(pass, n, func(call *ast.CallExpr, isLog bool) bool {
+				if isLog {
+					logged = true
+					return false
+				}
+				if !reported[call] {
+					reported[call] = true
+					fn := eosutil.Callee(pass.TypesInfo, call)
+					ig.Report(call.Pos(),
+						"mutation %s.%s can execute before its WAL record is appended; log first (§4.5 write-ahead rule)",
+						eosutil.ReceiverType(fn).Name(), fn.Name())
+				}
+				return true
+			})
+			if logged {
+				return // every node after this is dominated by the append
+			}
+		}
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Blocks[0])
+}
+
+// scanNode walks n in source order, invoking f for each WAL append
+// (isLog true) or mutator call (isLog false).  f returns false to stop
+// the scan.
+func scanNode(pass *analysis.Pass, n ast.Node, f func(call *ast.CallExpr, isLog bool) bool) {
+	stop := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if stop {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // closures run later (or elsewhere); not this path
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := eosutil.IsMethodCall(pass.TypesInfo, call, "wal", "Log", "Append"); ok {
+			if !f(call, true) {
+				stop = true
+			}
+			return true
+		}
+		if _, ok := eosutil.IsMethodCall(pass.TypesInfo, call, "lob", "Object", mutators...); ok {
+			if !f(call, false) {
+				stop = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package walfirst_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/walfirst"
+)
+
+func TestWalfirst(t *testing.T) {
+	analyzertest.Run(t, "../testdata", walfirst.Analyzer, "walfirst_bad", "walfirst_clean")
+}

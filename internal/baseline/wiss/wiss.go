@@ -198,9 +198,10 @@ func (o *Object) Insert(off int64, data []byte) error {
 		return err
 	}
 	if len(o.slices)-boolInt(i < len(o.slices))+len(newSlices) > o.MaxSlices() {
-		// Free the fresh pages before failing.
+		// Free the fresh pages before failing, best-effort: the
+		// slice-count overflow is the error worth reporting.
 		for _, s := range newSlices {
-			o.alloc.Free(s.page, 1)
+			_ = o.alloc.Free(s.page, 1)
 		}
 		return fmt.Errorf("%w: %d slices (max %d)", ErrTooLarge, len(o.slices)+len(newSlices), o.MaxSlices())
 	}
@@ -244,7 +245,7 @@ func (o *Object) layoutSlices(data []byte) ([]slice, error) {
 		pg, err := o.alloc.Alloc(1)
 		if err != nil {
 			for _, s := range out {
-				o.alloc.Free(s.page, 1)
+				_ = o.alloc.Free(s.page, 1)
 			}
 			return nil, err
 		}
@@ -334,8 +335,8 @@ func (o *Object) rebalance(i, ps int) {
 	if err != nil {
 		return
 	}
-	o.alloc.Free(o.slices[i].page, 1)
-	o.alloc.Free(o.slices[j].page, 1)
+	_ = o.alloc.Free(o.slices[i].page, 1)
+	_ = o.alloc.Free(o.slices[j].page, 1)
 	o.slices = append(o.slices[:i:i], append(newSlices, o.slices[j+1:]...)...)
 }
 

@@ -1,6 +1,7 @@
 package buddy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -132,7 +133,7 @@ func (m *Manager) Alloc(n int) (disk.PageNum, error) {
 		}
 		m.stats.FailedAttempts++
 		m.mu.Unlock()
-		if err != ErrNoSpace {
+		if !errors.Is(err, ErrNoSpace) {
 			return 0, err
 		}
 	}
@@ -172,7 +173,7 @@ func (m *Manager) AllocUpTo(n int) (disk.PageNum, int, error) {
 		}
 		m.stats.FailedAttempts++
 		m.mu.Unlock()
-		if err != ErrNoSpace {
+		if !errors.Is(err, ErrNoSpace) {
 			return 0, 0, err
 		}
 	}

@@ -257,9 +257,10 @@ func (m *Manager) allocSegments(total int64) ([]entry, error) {
 		wantPages := pagesFor(remaining, int(ps))
 		start, got, err := m.alloc.AllocUpTo(wantPages)
 		if err != nil {
-			// Roll back partial allocations.
+			// Roll back partial allocations, best-effort: the
+			// allocation failure is the error worth reporting.
 			for _, e := range out {
-				m.alloc.Free(e.ptr, pagesFor(e.bytes, int(ps)))
+				_ = m.alloc.Free(e.ptr, pagesFor(e.bytes, int(ps)))
 			}
 			return nil, err
 		}

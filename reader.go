@@ -1,6 +1,7 @@
 package eos
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -229,7 +230,7 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 				return total, io.ErrShortWrite
 			}
 		}
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return total, nil
 		}
 		if err != nil {

@@ -579,6 +579,11 @@ func (s *Store) forceDurableLocked(t *Txn) error {
 // logged pre-image undoes replace, truncation undoes append, the
 // descriptor snapshot resurrects a destroyed object), surviving deferred
 // frees are applied, and locks are released.
+//
+//eoslint:ignore walfirst -- logical undo: every compensation replays a
+// pre-image the forward operation already logged, and the abort record
+// is forced before any freed page becomes reusable, so write-ahead
+// coverage is provided by the forward records.
 func (t *Txn) Abort() error {
 	if err := t.check(); err != nil {
 		return err
