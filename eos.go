@@ -112,6 +112,12 @@ type Options struct {
 	// reads and replaces on one object then run concurrently; a short
 	// per-object latch keeps index traversals physically safe.
 	RangeLocking bool
+	// SerialWAL disables the buffered log tail and leader/follower group
+	// commit, reproducing the original serial write path: every log
+	// append issues its own positional write and every commit forces the
+	// log itself.  The write-path benchmarks use it as their baseline;
+	// durability semantics are identical either way.
+	SerialWAL bool
 }
 
 func (o Options) withDefaults(vol *disk.Volume) (Options, error) {
@@ -224,6 +230,11 @@ func Format(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 	s.lm, err = lob.NewManager(vol, pool, bm, s.lobConfig())
 	if err != nil {
 		return nil, err
+	}
+	if opts.SerialWAL {
+		if err := s.log.SetGroupCommit(false); err != nil {
+			return nil, err
+		}
 	}
 	if err := s.writeHeader(); err != nil {
 		return nil, err
@@ -372,6 +383,16 @@ func (s *Store) checkpointLocked() error {
 	// this is a "soft" checkpoint: everything is durable, but the log
 	// keeps growing until a quiescent checkpoint.
 	resetLog := s.log != nil && len(s.liveTxns) == 0
+	// WAL-first: a soft checkpoint (live transactions) forces the data
+	// volume below while the log keeps growing, so any buffered log
+	// records — including live transactions' replace pre-images, which
+	// recovery needs to undo the in-place writes this force makes
+	// durable — must reach the log device first.
+	if s.log != nil {
+		if err := s.log.Force(); err != nil {
+			return err
+		}
+	}
 	if resetLog {
 		// LSNs are byte offsets into the log, so truncating it starts a
 		// new epoch in which every record outranks the fully-durable
@@ -497,6 +518,7 @@ type Stats struct {
 	Pool   buffer.Stats
 	Buddy  buddy.ManagerStats
 	LOB    lob.Stats
+	WAL    wal.Stats
 	LogLen int64
 	// PoolHitRate is the buffer pool hit fraction in [0, 1] (1 when the
 	// pool has seen no traffic).
@@ -513,6 +535,7 @@ func (s *Store) Stats() Stats {
 		Pool:        pool,
 		Buddy:       s.buddy.Stats(),
 		LOB:         s.lm.Stats(),
+		WAL:         s.log.Stats(),
 		LogLen:      s.log.Tail(),
 		PoolHitRate: pool.HitRate(),
 	}

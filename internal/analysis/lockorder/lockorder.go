@@ -9,8 +9,10 @@
 //	rank 30  Txn.wmu           (transaction write set)
 //	rank 30  deferredAlloc.mu  (transaction deferred-free list)
 //	rank 35  Manager.mu        (buddy superdirectory latch)
+//	rank 38  Pool.flushMu      (buffer pool whole-pool write-back)
 //	rank 40  shard.mu          (buffer pool shard)
-//	rank 50  Log.mu            (write-ahead log)
+//	rank 45  Log.forceMu       (group-commit leader force)
+//	rank 50  Log.mu            (write-ahead log buffer + tail state)
 //	rank 60  Volume.mu         (disk volume image)
 //	rank 70  Volume.accMu      (disk access-time accounting)
 //
@@ -66,7 +68,9 @@ var defaultOrder = map[string]int{
 	"Txn.wmu":          30,
 	"deferredAlloc.mu": 30,
 	"Manager.mu":       35, // buddy superdirectory latch
+	"Pool.flushMu":     38, // whole-pool write-back; before any shard.mu
 	"shard.mu":         40,
+	"Log.forceMu":      45, // group-commit leader force; before Log.mu
 	"Log.mu":           50,
 	"Volume.mu":        60,
 	"Volume.accMu":     70,

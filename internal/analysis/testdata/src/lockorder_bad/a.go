@@ -11,7 +11,12 @@ type catEntry struct{ latch sync.RWMutex }
 
 type shard struct{ mu sync.Mutex }
 
-type Log struct{ mu sync.Mutex }
+type Log struct {
+	forceMu sync.Mutex
+	mu      sync.Mutex
+}
+
+type Pool struct{ flushMu sync.Mutex }
 
 type Volume struct {
 	mu    sync.Mutex
@@ -33,6 +38,24 @@ func invertedUnderDefer(l *Log, e *catEntry) {
 	defer l.mu.Unlock()
 	e.latch.RLock() // want "lock order inversion: acquiring catEntry.latch"
 	e.latch.RUnlock()
+}
+
+// invertedGroupCommit takes the log buffer mutex before the leader
+// force mutex — the follower that did this while a leader flushed
+// would deadlock the commit path.
+func invertedGroupCommit(l *Log) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.forceMu.Lock() // want "lock order inversion: acquiring Log.forceMu"
+	l.forceMu.Unlock()
+}
+
+// invertedFlush takes a shard mutex before the whole-pool flush mutex.
+func invertedFlush(p *Pool, sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p.flushMu.Lock() // want "lock order inversion: acquiring Pool.flushMu"
+	p.flushMu.Unlock()
 }
 
 // invertedWithinVolume takes the access-time accounting lock before the

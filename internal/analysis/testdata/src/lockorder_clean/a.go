@@ -10,7 +10,12 @@ type catEntry struct{ latch sync.RWMutex }
 
 type shard struct{ mu sync.Mutex }
 
-type Log struct{ mu sync.Mutex }
+type Log struct {
+	forceMu sync.Mutex
+	mu      sync.Mutex
+}
+
+type Pool struct{ flushMu sync.Mutex }
 
 // nestedDownward acquires strictly down the lattice.
 func nestedDownward(s *Store, e *catEntry, sh *shard) {
@@ -48,6 +53,24 @@ func closureIsSeparate(l *Log, s *Store) {
 		s.mu.Lock()
 		s.mu.Unlock()
 	}()
+}
+
+// groupCommitDescent mirrors the WAL leader path: the force mutex
+// (rank 45) is taken before the log buffer mutex (rank 50).
+func groupCommitDescent(l *Log) {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// flushDescent mirrors the pool write-back path: the whole-pool flush
+// mutex (rank 38) is taken before a shard mutex (rank 40).
+func flushDescent(p *Pool, sh *shard) {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
 }
 
 // unranked locks are outside the lattice and never constrained.

@@ -73,12 +73,14 @@ func DefaultCostModel() CostModel {
 // Stats accumulates I/O accounting for a Volume.  Counters are cumulative;
 // use Volume.ResetStats or subtract snapshots to measure an interval.
 type Stats struct {
-	Reads        int64 // read requests
-	Writes       int64 // write requests
-	PagesRead    int64 // pages transferred by reads
-	PagesWritten int64 // pages transferred by writes
-	Seeks        int64 // requests that required repositioning the head
-	Micros       int64 // modelled elapsed time in microseconds
+	Reads          int64 // read requests
+	Writes         int64 // write requests
+	PagesRead      int64 // pages transferred by reads
+	PagesWritten   int64 // pages transferred by writes
+	Seeks          int64 // requests that required repositioning the head
+	Micros         int64 // modelled elapsed time in microseconds
+	RunWrites      int64 // vectored WriteRun requests (counted in Writes too)
+	CoalescedPages int64 // pages beyond the first in each WriteRun — seeks saved by coalescing
 }
 
 // Accesses returns the total number of I/O requests.
@@ -90,12 +92,14 @@ func (s Stats) PagesMoved() int64 { return s.PagesRead + s.PagesWritten }
 // Sub returns the interval statistics s - prev.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Reads:        s.Reads - prev.Reads,
-		Writes:       s.Writes - prev.Writes,
-		PagesRead:    s.PagesRead - prev.PagesRead,
-		PagesWritten: s.PagesWritten - prev.PagesWritten,
-		Seeks:        s.Seeks - prev.Seeks,
-		Micros:       s.Micros - prev.Micros,
+		Reads:          s.Reads - prev.Reads,
+		Writes:         s.Writes - prev.Writes,
+		PagesRead:      s.PagesRead - prev.PagesRead,
+		PagesWritten:   s.PagesWritten - prev.PagesWritten,
+		Seeks:          s.Seeks - prev.Seeks,
+		Micros:         s.Micros - prev.Micros,
+		RunWrites:      s.RunWrites - prev.RunWrites,
+		CoalescedPages: s.CoalescedPages - prev.CoalescedPages,
 	}
 }
 
@@ -384,6 +388,51 @@ func (v *Volume) WritePages(start PageNum, n int, buf []byte) error {
 	off := int64(start) * int64(v.pageSize)
 	copy(v.data[off:], buf)
 	for i := 0; i < n; i++ {
+		v.dirty[start+PageNum(i)] = true
+	}
+	v.mu.Unlock()
+	if done != nil {
+		done(micros)
+	}
+	return nil
+}
+
+// WriteRun gather-writes len(pages) physically contiguous pages starting
+// at page start in a single request — at most one seek, however many
+// pages the run holds.  Each element must be exactly one page.  This is
+// the coalescing entry point the buffer pool uses when write-back finds
+// adjacent dirty pages: n single-page WritePages calls cost up to n
+// seeks, one WriteRun costs one.
+func (v *Volume) WriteRun(start PageNum, pages [][]byte) error {
+	n := len(pages)
+	for i, p := range pages {
+		if len(p) != v.pageSize {
+			return fmt.Errorf("%w: run page %d has %d bytes, want %d", ErrBadLength, i, len(p), v.pageSize)
+		}
+	}
+	if err := v.checkRange(start, n); err != nil {
+		return err
+	}
+	done := v.admit()
+	v.mu.Lock()
+	v.accMu.Lock()
+	if err := v.faultCheck(); err != nil {
+		v.accMu.Unlock()
+		v.mu.Unlock()
+		if done != nil {
+			done(0)
+		}
+		return err
+	}
+	v.stats.Writes++
+	v.stats.PagesWritten += int64(n)
+	v.stats.RunWrites++
+	v.stats.CoalescedPages += int64(n - 1)
+	micros := v.charge(start, n, true)
+	v.accMu.Unlock()
+	for i, p := range pages {
+		off := (int64(start) + int64(i)) * int64(v.pageSize)
+		copy(v.data[off:], p)
 		v.dirty[start+PageNum(i)] = true
 	}
 	v.mu.Unlock()

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -325,5 +326,70 @@ func TestTracerObservesRequests(t *testing.T) {
 	}
 	if len(events) != 3 {
 		t.Error("tracer fired after being removed")
+	}
+}
+
+func TestWriteRunCoalescing(t *testing.T) {
+	m := CostModel{SeekMicros: 100, RotationalMicros: 10, TransferMicrosPerPage: 3}
+	v := MustNewVolume(64, 32, m)
+	pages := make([][]byte, 4)
+	for i := range pages {
+		pages[i] = make([]byte, 64)
+		for j := range pages[i] {
+			pages[i][j] = byte(i + 1)
+		}
+	}
+	if err := v.WriteRun(3, pages); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.Writes != 1 || st.PagesWritten != 4 || st.RunWrites != 1 || st.CoalescedPages != 3 {
+		t.Fatalf("run stats: %+v", st)
+	}
+	if st.Seeks != 1 {
+		t.Fatalf("coalesced run cost %d seeks, want 1", st.Seeks)
+	}
+	got, err := v.Read(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got[i*64] != byte(i+1) {
+			t.Fatalf("page %d holds %d, want %d", i, got[i*64], i+1)
+		}
+	}
+	// Sub must difference the new counters too.
+	if d := v.Stats().Sub(st); d.RunWrites != 0 || d.CoalescedPages != 0 {
+		t.Fatalf("Sub missed run counters: %+v", d)
+	}
+}
+
+func TestWriteRunValidation(t *testing.T) {
+	v := MustNewVolume(64, 8, CostModel{})
+	if err := v.WriteRun(0, [][]byte{make([]byte, 63)}); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("short page: got %v, want ErrBadLength", err)
+	}
+	if err := v.WriteRun(7, [][]byte{make([]byte, 64), make([]byte, 64)}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range run: got %v, want ErrOutOfRange", err)
+	}
+	if err := v.WriteRun(0, nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+func TestWriteRunVolatileUntilForce(t *testing.T) {
+	v := MustNewVolume(64, 8, CostModel{})
+	page := make([]byte, 64)
+	page[0] = 0xAB
+	if err := v.WriteRun(2, [][]byte{page}); err != nil {
+		t.Fatal(err)
+	}
+	v.Crash()
+	got, err := v.Read(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("unforced WriteRun survived a crash")
 	}
 }

@@ -334,7 +334,7 @@ func (o *Object) EncodeDescriptor() []byte {
 	binary.BigEndian.PutUint32(buf[12:], uint32(o.nextGrow))
 	binary.BigEndian.PutUint64(buf[16:], uint64(o.tailStart))
 	binary.BigEndian.PutUint32(buf[24:], uint32(o.tailAlloc))
-	binary.BigEndian.PutUint64(buf[28:], uint64(o.lsn))
+	binary.BigEndian.PutUint64(buf[28:], o.lsn.Load())
 	binary.BigEndian.PutUint32(buf[36:], uint32(len(o.root.entries)))
 	var cum int64
 	off := descHeaderSize
@@ -363,8 +363,8 @@ func (m *Manager) OpenDescriptor(data []byte) (*Object, error) {
 		nextGrow:  int(binary.BigEndian.Uint32(data[12:])),
 		tailStart: disk.PageNum(binary.BigEndian.Uint64(data[16:])),
 		tailAlloc: int(binary.BigEndian.Uint32(data[24:])),
-		lsn:       binary.BigEndian.Uint64(data[28:]),
 	}
+	o.lsn.Store(binary.BigEndian.Uint64(data[28:]))
 	var prev int64
 	off := descHeaderSize
 	for i := 0; i < count; i++ {

@@ -30,7 +30,9 @@ type Object struct {
 
 	// lsn is the log sequence number of the last logged update, stored in
 	// the root so updates can be undone/redone idempotently (§4.5).
-	lsn uint64
+	// Atomic: SetLSN runs after a commit's force with no latch held,
+	// concurrently with other transactions' pre-LSN snapshots.
+	lsn atomic.Uint64
 
 	// ver counts mutations.  Readers that stage data outside the object
 	// latch (the sequential prefetcher) record the version before reading
@@ -90,10 +92,10 @@ func (o *Object) SetThreshold(t int) {
 func (o *Object) Rebind(m *Manager) { o.m = m }
 
 // LSN returns the log sequence number stored in the object root.
-func (o *Object) LSN() uint64 { return o.lsn }
+func (o *Object) LSN() uint64 { return o.lsn.Load() }
 
 // SetLSN records the log sequence number of the latest update.
-func (o *Object) SetLSN(lsn uint64) { o.lsn = lsn }
+func (o *Object) SetLSN(lsn uint64) { o.lsn.Store(lsn) }
 
 // Destroy deletes the entire object, returning every segment and index
 // page to the free space without reading a single data page.

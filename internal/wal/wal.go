@@ -109,19 +109,76 @@ const (
 	extentEncBytes = 8 + 4 + 4
 )
 
+// Stats counts log activity.  Snapshot with Log.Stats; the group-commit
+// counters make the batching observable: LeaderForces is the number of
+// physical flush+force batches, while ForceNoops and Piggybacks count
+// the force requests that were satisfied without issuing any I/O of
+// their own.
+type Stats struct {
+	Appends      int64 // records appended
+	Forces       int64 // Force/ForceLSN requests
+	ForceNoops   int64 // requests whose target was already durable on entry
+	Piggybacks   int64 // requests covered by another committer's force while queued
+	LeaderForces int64 // physical flush+force batches issued
+	FlushedBytes int64 // bytes written to the volume by batched flushes
+}
+
 // Log is an append-only write-ahead log over a dedicated volume.  It is
 // safe for concurrent use.
+//
+// Appends copy the encoded record into an in-memory tail buffer; the
+// buffer reaches the log volume only when a force flushes it, so a
+// transaction's worth of records costs zero log I/O until commit.
+// Forces use leader/follower group commit: concurrent committers queue
+// on forceMu, the first (the leader) writes the whole buffered tail in
+// one positional write — one seek however many records the batch holds
+// — and forces it; the followers wake to find their commit LSNs already
+// durable and return without touching the device.  A force whose target
+// is already durable returns immediately without any lock but mu.
 type Log struct {
-	mu     sync.Mutex
-	vol    *disk.Volume
-	ps     int
-	tail   int64 // next append offset (bytes)
-	forced int64 // offset through which records are durable
+	// forceMu serializes the flush+force I/O of group-commit leaders.
+	// Followers queue on it and usually find their records durable once
+	// they acquire it.  Acquired before mu (rank 45 in the lattice).
+	forceMu sync.Mutex
+
+	mu       sync.Mutex
+	vol      *disk.Volume
+	ps       int
+	grouped  bool   // buffered appends + group commit (default); false = serial baseline
+	buf      []byte // records appended but not yet written to the volume
+	bufStart int64  // log byte offset of buf[0]; == bytes written to the volume
+	tail     int64  // next append offset (bytes), including the buffer
+	forced   int64  // offset through which records are durable
+	stats    Stats
 }
 
 // New creates an empty log on vol.
 func New(vol *disk.Volume) *Log {
-	return &Log{vol: vol, ps: vol.PageSize()}
+	return &Log{vol: vol, ps: vol.PageSize(), grouped: true}
+}
+
+// SetGroupCommit enables (the default) or disables the buffered tail
+// and group commit.  Disabled, the log reproduces the original serial
+// write path — every Append issues its own positional write and every
+// force leads — which the write-path benchmarks use as their baseline.
+// Disabling flushes any buffered records first.
+func (l *Log) SetGroupCommit(on bool) error {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	if _, err := l.flushHoldingForceMu(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.grouped = on
+	l.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the log activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // encode serializes r (LSN must already be set).
@@ -196,8 +253,10 @@ func decode(buf []byte) (*Record, int, error) {
 	return r, size, nil
 }
 
-// Append writes r at the tail of the log, assigns its LSN, and returns
-// it.  The record is not durable until Force.
+// Append places r at the tail of the log, assigns its LSN, and returns
+// it.  The record is not durable until a force covers it; in grouped
+// mode (the default) it is not even written to the volume until then —
+// the bytes land in the in-memory tail buffer, so Append does no I/O.
 func (l *Log) Append(r *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -206,10 +265,16 @@ func (l *Log) Append(r *Record) (uint64, error) {
 	if l.tail+int64(len(buf)) > int64(l.vol.NumPages())*int64(l.ps) {
 		return 0, ErrLogFull
 	}
-	if err := l.writeAt(l.tail, buf); err != nil {
-		return 0, err
+	if l.grouped {
+		l.buf = append(l.buf, buf...)
+	} else {
+		if err := l.writeAt(l.tail, buf); err != nil {
+			return 0, err
+		}
+		l.bufStart = l.tail + int64(len(buf))
 	}
 	l.tail += int64(len(buf))
+	l.stats.Appends++
 	return r.LSN, nil
 }
 
@@ -230,19 +295,104 @@ func (l *Log) writeAt(off int64, data []byte) error {
 	return l.vol.WritePages(disk.PageNum(first), npages, raw)
 }
 
-// Force makes every appended record durable.
+// Force makes every appended record durable.  When nothing has been
+// appended since the last force it returns immediately without touching
+// the volume (the historical implementation forced the file anyway).
 func (l *Log) Force() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	lastPage := int((l.tail + int64(l.ps) - 1) / int64(l.ps))
-	if lastPage == 0 {
+	target := l.tail
+	l.mu.Unlock()
+	return l.forceTo(target)
+}
+
+// ForceLSN makes the record with the given LSN — and every record
+// before it — durable.  This is the group-commit entry point: the
+// caller blocks until some leader's force covers lsn, whether it led
+// that force itself or piggybacked on a concurrent committer's.  A
+// caller is never released successfully unless a force covering its
+// LSN actually succeeded; when the leader's I/O fails, each queued
+// follower retries as leader and surfaces its own error.
+func (l *Log) ForceLSN(lsn uint64) error {
+	return l.forceTo(int64(lsn))
+}
+
+// forceTo makes the log durable through byte offset target.  Because
+// forces always advance `forced` to a record boundary past the target
+// record's start, forced >= target implies the whole record is durable.
+func (l *Log) forceTo(target int64) error {
+	l.mu.Lock()
+	l.stats.Forces++
+	if l.grouped && l.forced >= target {
+		l.stats.ForceNoops++
+		l.mu.Unlock()
 		return nil
 	}
-	if err := l.vol.Force(0, lastPage); err != nil {
+	l.mu.Unlock()
+
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	l.mu.Lock()
+	if l.grouped && l.forced >= target {
+		// A leader force covered us while we queued: piggyback.
+		l.stats.Piggybacks++
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	return l.leadForce()
+}
+
+// leadForce flushes the buffered tail in one positional write and
+// forces every log page not yet durable.  Caller holds forceMu.
+func (l *Log) leadForce() error {
+	l.mu.Lock()
+	forcedBefore := l.forced
+	l.mu.Unlock()
+	end, err := l.flushHoldingForceMu()
+	if err != nil {
 		return err
 	}
-	l.forced = l.tail
+	if end > 0 {
+		// Only the pages written since the last force can be non-durable;
+		// the page holding the forced boundary may have been extended.
+		firstPage := forcedBefore / int64(l.ps)
+		lastPage := (end + int64(l.ps) - 1) / int64(l.ps)
+		if lastPage > firstPage {
+			if err := l.vol.Force(disk.PageNum(firstPage), int(lastPage-firstPage)); err != nil {
+				return err
+			}
+		}
+	}
+	l.mu.Lock()
+	if end > l.forced {
+		l.forced = end
+	}
+	l.stats.LeaderForces++
+	l.mu.Unlock()
 	return nil
+}
+
+// flushHoldingForceMu writes the buffered records to the volume (no
+// force) and returns the flushed end offset.  Records appended while
+// the write is in flight stay buffered for the next flush.  Caller
+// holds forceMu.
+func (l *Log) flushHoldingForceMu() (int64, error) {
+	l.mu.Lock()
+	start := l.bufStart
+	data := l.buf[:len(l.buf):len(l.buf)]
+	l.mu.Unlock()
+	if len(data) == 0 {
+		return start, nil
+	}
+	if err := l.writeAt(start, data); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.buf = l.buf[len(data):]
+	l.bufStart = start + int64(len(data))
+	l.stats.FlushedBytes += int64(len(data))
+	l.mu.Unlock()
+	return start + int64(len(data)), nil
 }
 
 // Tail returns the log length in bytes.
@@ -254,8 +404,15 @@ func (l *Log) Tail() int64 {
 
 // Scan reads every intact record from byte offset start, invoking fn in
 // order.  Scanning stops cleanly at the first torn or zero record — the
-// crash-truncated tail.
+// crash-truncated tail.  Buffered records are part of the log's logical
+// contents, so Scan writes them out first (without forcing).
 func (l *Log) Scan(start int64, fn func(*Record) error) error {
+	l.forceMu.Lock()
+	_, err := l.flushHoldingForceMu()
+	l.forceMu.Unlock()
+	if err != nil {
+		return err
+	}
 	total := int64(l.vol.NumPages()) * int64(l.ps)
 	off := start
 	for off+int64(recHeaderSize) <= total {
@@ -317,6 +474,7 @@ func Recover(vol *disk.Volume) (*Log, []*Record, error) {
 			int64(recHeaderSize+len(last.Data)+len(last.OldData)+len(last.Extents)*extentEncBytes)
 	}
 	l.forced = l.tail
+	l.bufStart = l.tail
 	return l, recs, nil
 }
 
@@ -325,6 +483,8 @@ func Recover(vol *disk.Volume) (*Log, []*Record, error) {
 // records from before the checkpoint can never be mistaken for live ones
 // by a later recovery scan.
 func (l *Log) Reset() error {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	zero := make([]byte, int64(l.vol.NumPages())*int64(l.ps))
@@ -336,5 +496,7 @@ func (l *Log) Reset() error {
 	}
 	l.tail = 0
 	l.forced = 0
+	l.buf = l.buf[:0]
+	l.bufStart = 0
 	return nil
 }

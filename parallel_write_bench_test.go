@@ -1,0 +1,158 @@
+package eos_test
+
+// Parallel write-path benchmarks.  Two store configurations are compared:
+//
+//   - serialized: SerialWAL (one positional log write per append, every
+//     commit forces the log itself), single pool shard, volume queue
+//     depth 1 — the original write path, in which every committer paid
+//     its own seek+force.
+//   - group: buffered log tail + leader/follower group commit, sharded
+//     pool with parallel coalescing write-back, queue depth 16.
+//
+// Each benchmark iteration is one transaction: Begin, Replace a 512-byte
+// stripe of the worker's own object, Commit.  Under -cpu=8 eight
+// committers run concurrently and the group configuration amortizes one
+// batched log flush+force across the whole batch; the serialized
+// configuration pays per-record writes and per-commit forces.
+//
+// The *Lat benchmarks run both volumes in latency-simulation mode, so
+// they measure what batching buys in device time; the *Mem benchmarks
+// bound the locking/alloc overhead.  The commit-throughput acceptance
+// numbers in BENCH_write_group_commit.json come from:
+//
+//	go test -bench ParallelCommitLat -cpu=1,8 -benchtime=100x
+//
+// Keep -benchtime bounded (≤2000x): each committed transaction appends
+// ~1 KB of log records, each run starts from a fresh checkpoint that
+// truncates the log, and the 32 MB log volume holds ~30k commits per
+// run before ErrLogFull.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/eosdb/eos"
+	"github.com/eosdb/eos/internal/disk"
+)
+
+const (
+	wparObjects = 16
+	wparObjSize = 64 << 10
+	wparStripe  = 512
+)
+
+type wparStore struct {
+	s      *eos.Store
+	vol    *disk.Volume
+	logVol *disk.Volume
+}
+
+var wparStores = map[string]*wparStore{}
+var wparStoresMu sync.Mutex
+
+// wparStoreFor builds (once per configuration) a store with wparObjects
+// small objects; committers each Replace inside their own object, so
+// transactions conflict only on the shared write path, not on locks.
+func wparStoreFor(b *testing.B, name string, opts eos.Options) *wparStore {
+	b.Helper()
+	wparStoresMu.Lock()
+	defer wparStoresMu.Unlock()
+	if st, ok := wparStores[name]; ok {
+		return st
+	}
+	vol := disk.MustNewVolume(parPage, 4096, fastDiskModel())
+	logVol := disk.MustNewVolume(parPage, 8192, fastDiskModel())
+	s, err := eos.Format(vol, logVol, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, wparObjSize)
+	for i := 0; i < wparObjects; i++ {
+		o, err := s.Create(fmt.Sprintf("wpar-%d", i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := o.Append(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	st := &wparStore{s: s, vol: vol, logVol: logVol}
+	wparStores[name] = st
+	return st
+}
+
+var serialWriteOpts = eos.Options{Threshold: 8, PoolShards: 1, SerialWAL: true}
+var groupWriteOpts = eos.Options{Threshold: 8, PoolShards: 8}
+
+// benchCommit measures committed-transactions-per-second: every
+// iteration Replaces one stripe of the calling worker's object and
+// commits.  Workers use distinct objects so the measured contention is
+// the write path itself (log, pool, volume), not the lock table.
+func benchCommit(b *testing.B, st *wparStore) {
+	// Start each run from a truncated log so long -benchtime runs and
+	// -count repetitions never hit ErrLogFull.
+	if err := st.s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(seq.Add(1)-1) % wparObjects
+		name := fmt.Sprintf("wpar-%d", w)
+		stripe := make([]byte, wparStripe)
+		n := 0
+		for pb.Next() {
+			off := int64((n * wparStripe) % (wparObjSize - wparStripe))
+			for j := range stripe {
+				stripe[j] = byte(w + n + j)
+			}
+			n++
+			tx, err := st.s.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Replace(name, off, stripe); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelCommitLat(b *testing.B) {
+	b.Run("serialized", func(b *testing.B) {
+		st := wparStoreFor(b, "serialized", serialWriteOpts)
+		st.vol.SetLatency(true, 1)
+		st.logVol.SetLatency(true, 1)
+		defer st.vol.SetLatency(false, 0)
+		defer st.logVol.SetLatency(false, 0)
+		benchCommit(b, st)
+	})
+	b.Run("group", func(b *testing.B) {
+		st := wparStoreFor(b, "group", groupWriteOpts)
+		st.vol.SetLatency(true, 16)
+		st.logVol.SetLatency(true, 16)
+		defer st.vol.SetLatency(false, 0)
+		defer st.logVol.SetLatency(false, 0)
+		benchCommit(b, st)
+	})
+}
+
+func BenchmarkParallelCommitMem(b *testing.B) {
+	b.Run("serialized", func(b *testing.B) {
+		benchCommit(b, wparStoreFor(b, "serialized", serialWriteOpts))
+	})
+	b.Run("group", func(b *testing.B) {
+		benchCommit(b, wparStoreFor(b, "group", groupWriteOpts))
+	})
+}

@@ -50,6 +50,11 @@ func (s *Store) recover() error {
 	if err != nil {
 		return err
 	}
+	if s.opts.SerialWAL {
+		if err := log.SetGroupCommit(false); err != nil {
+			return err
+		}
+	}
 	s.log = log
 
 	committed := make(map[uint64]bool)

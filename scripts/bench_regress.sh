@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# bench_regress.sh — compare the read-path benchmarks against the
-# checked-in baseline and fail on >10% regressions.
+# bench_regress.sh — compare the read-path (BenchmarkParallelRead*,
+# BenchmarkParallelScan*) and write-path (BenchmarkParallelCommit*)
+# benchmarks against the checked-in baseline and fail on >10%
+# regressions.
 #
 # Usage: scripts/bench_regress.sh [baseline-file]
 #
@@ -8,8 +10,9 @@
 #
 #   gate  — the raw in-memory *Mem benchmarks with -benchmem.  The
 #           hard gate compares allocs/op: allocation counts on the
-#           read path are deterministic, so a >10% increase is a real
-#           code change (extra staging copies, per-read goroutines,
+#           read and commit paths are deterministic, so a >10%
+#           increase is a real code change (extra staging copies,
+#           per-read goroutines, per-commit force bookkeeping,
 #           lock-splitting gone wrong), never machine noise.
 #   info  — ns/op deltas for everything, plus the latency-simulated
 #           *Lat benchmarks and a benchstat comparison when benchstat
@@ -19,7 +22,8 @@
 #           timing gate would be red noise — eyeball the info rows
 #           and the benchstat table when the gate flags nothing.
 #
-# Regenerate the baseline after intentional read-path changes:
+# Regenerate the baseline after intentional read- or write-path
+# changes:
 #
 #   { go test -run '^$' -bench 'BenchmarkParallel.*Mem' -cpu=1,8 \
 #         -benchtime=2000x -count=5 -benchmem . ;
@@ -39,7 +43,7 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-echo "running read-path benchmarks (gate: *Mem allocs/op, info: ns/op and *Lat)..."
+echo "running read+write-path benchmarks (gate: *Mem allocs/op, info: ns/op and *Lat)..."
 {
     go test -run '^$' -bench 'BenchmarkParallel.*Mem' -cpu=1,8 \
         -benchtime=2000x -count=5 -benchmem .

@@ -502,11 +502,14 @@ func (t *Txn) Size(name string) (int64, error) {
 // forced, and the catalog is updated with the new descriptors.
 func (t *Txn) Commit() error { return t.commit(true) }
 
-// CommitNoForce is the fast commit path: only the commit record is
-// forced to the log; data pages and the catalog stay volatile.  If the
-// system crashes, recovery re-executes the logged operations (redo), so
-// durability is preserved at a fraction of the commit I/O — a later
-// Commit or Checkpoint migrates everything to the data volume.
+// CommitNoForce is the fast commit path: the commit record is appended
+// to the group-commit buffer and made durable by a log force covering
+// its LSN — usually another committer's batch (the piggyback case) or,
+// with no concurrent commit traffic, a force this call leads itself.
+// Data pages and the catalog stay volatile; if the system crashes,
+// recovery re-executes the logged operations (redo), so durability is
+// preserved at a fraction of the commit I/O — a later Commit or
+// Checkpoint migrates everything to the data volume.
 func (t *Txn) CommitNoForce() error { return t.commit(false) }
 
 func (t *Txn) commit(force bool) error {
@@ -514,11 +517,22 @@ func (t *Txn) commit(force bool) error {
 		return err
 	}
 	t.done = true
-	if _, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit}); err != nil {
+	// A transaction that performed no mutating operation has nothing to
+	// make durable: its commit record can stay in the log buffer (the
+	// next leader force or checkpoint carries it), and there is no data
+	// page or catalog state of its own to force.
+	readOnly := len(t.journal) == 0
+	rec := &wal.Record{Txn: t.id, Type: wal.RecCommit}
+	if _, err := t.s.log.Append(rec); err != nil {
 		return err
 	}
-	if err := t.s.log.Force(); err != nil {
-		return err
+	if !readOnly {
+		// Group commit: block until some leader's force covers our
+		// commit record — one batched log write per concurrent batch of
+		// committers instead of one force per transaction.
+		if err := t.s.log.ForceLSN(rec.LSN); err != nil {
+			return err
+		}
 	}
 	// Apply the deferred frees; their directory updates ride along with
 	// the data force below (or are reconstructed by recovery).
@@ -534,7 +548,7 @@ func (t *Txn) commit(force bool) error {
 	}
 	delete(t.s.liveTxns, t.id)
 	var err error
-	if force {
+	if force && !readOnly {
 		err = t.s.forceDurableLocked(t)
 	}
 	t.s.mu.Unlock()
@@ -628,10 +642,11 @@ func (t *Txn) Abort() error {
 			return fmt.Errorf("eos: abort undo failed: %w", err)
 		}
 	}
-	if _, err := t.s.log.Append(&wal.Record{Txn: t.id, Type: wal.RecAbort}); err != nil {
+	rec := &wal.Record{Txn: t.id, Type: wal.RecAbort}
+	if _, err := t.s.log.Append(rec); err != nil {
 		return err
 	}
-	if err := t.s.log.Force(); err != nil {
+	if err := t.s.log.ForceLSN(rec.LSN); err != nil {
 		return err
 	}
 	if err := t.alloc.apply(); err != nil {
