@@ -1,11 +1,12 @@
 // Command eoslint runs the storage engine's custom static analyzers
-// (pinpair, lockorder, atomicfield, walfirst, errwrap) over Go
-// packages.
+// (pairs, lockorder, atomicfield, walfirst, errwrap, useafterunpin,
+// guardedby, unusedignore) over Go packages.
 //
 // Usage:
 //
-//	go run ./cmd/eoslint ./...     # analyze packages (drives go vet)
-//	eoslint help [analyzer]        # describe analyzers and flags
+//	go run ./cmd/eoslint ./...        # analyze packages (drives go vet)
+//	go run ./cmd/eoslint -json ./...  # machine-readable diagnostics
+//	eoslint help [analyzer]           # describe analyzers and flags
 //
 // The binary speaks the `go vet -vettool` unitchecker protocol
 // (-V=full, -flags, unit.cfg); invoked with ordinary package patterns
@@ -13,10 +14,20 @@
 // binary serves both as the driver and as the vet backend, and the
 // analysis benefits from go vet's build cache and modular fact
 // propagation.
+//
+// With -json, diagnostics are emitted in `go vet -json` format: one
+// JSON object per package mapping package ID to analyzer name to a
+// list of {posn, message} diagnostics.  Unlike plain `go vet -json`
+// (which always exits 0), eoslint still exits 1 when any diagnostic
+// was reported, so scripted callers need not parse the stream to learn
+// whether the tree is clean.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -31,7 +42,15 @@ func main() {
 		unitchecker.Main(eosanalysis.Analyzers()...) // does not return
 	}
 
-	patterns := os.Args[1:]
+	jsonMode := false
+	patterns := make([]string, 0, len(os.Args)-1)
+	for _, a := range os.Args[1:] {
+		if a == "-json" || a == "--json" {
+			jsonMode = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -40,10 +59,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "eoslint: cannot locate own executable: %v\n", err)
 		os.Exit(1)
 	}
-	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	args := []string{"vet", "-vettool=" + exe}
+	if jsonMode {
+		args = append(args, "-json")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	// go vet writes its -json stream (like its plain diagnostics) to
+	// stderr; tee it so the exit code can reflect what was reported.
+	var out bytes.Buffer
+	if jsonMode {
+		cmd.Stderr = io.MultiWriter(os.Stderr, &out)
+	} else {
+		cmd.Stderr = os.Stderr
+	}
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
@@ -51,6 +81,38 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "eoslint: %v\n", err)
 		os.Exit(1)
+	}
+	if jsonMode && jsonHasDiagnostics(out.Bytes()) {
+		os.Exit(1)
+	}
+}
+
+// jsonHasDiagnostics reports whether a `go vet -json` stream contains
+// any diagnostic.  The stream interleaves `# package` comment lines
+// with JSON objects of the form
+// {"pkgID": {"analyzer": [{"posn": ..., "message": ...}, ...]}}.
+func jsonHasDiagnostics(stream []byte) bool {
+	var clean []byte
+	for _, line := range bytes.Split(stream, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		clean = append(clean, line...)
+		clean = append(clean, '\n')
+	}
+	dec := json.NewDecoder(bytes.NewReader(clean))
+	for {
+		var unit map[string]map[string][]json.RawMessage
+		if err := dec.Decode(&unit); err != nil {
+			return false // end of stream or malformed tail: trust the exit code
+		}
+		for _, byAnalyzer := range unit {
+			for _, diags := range byAnalyzer {
+				if len(diags) > 0 {
+					return true
+				}
+			}
+		}
 	}
 }
 

@@ -1,10 +1,13 @@
 // Package analysis collects the eoslint analyzer suite: the custom
 // go/analysis checkers that machine-enforce the storage engine's
-// concurrency and recovery invariants (pin pairing, latch order,
-// atomics discipline, the §4.5 write-ahead rule, and error wrapping).
+// concurrency and recovery invariants (acquire/release pairing, latch
+// order, guarded-field locking, pin lifetimes, atomics discipline,
+// the §4.5 write-ahead rule, and error wrapping), plus the audit that
+// keeps the //eoslint:ignore exception inventory honest.
 //
 // The suite runs under `go vet` via cmd/eoslint and in CI via
-// scripts/lint.sh; see the "Static analysis" section of README.md.
+// scripts/lint.sh; see the "Static analysis" section of README.md and
+// DESIGN.md §7 for the analyzer-to-invariant mapping.
 package analysis
 
 import (
@@ -12,18 +15,26 @@ import (
 
 	"github.com/eosdb/eos/internal/analysis/atomicfield"
 	"github.com/eosdb/eos/internal/analysis/errwrap"
+	"github.com/eosdb/eos/internal/analysis/guardedby"
 	"github.com/eosdb/eos/internal/analysis/lockorder"
-	"github.com/eosdb/eos/internal/analysis/pinpair"
+	"github.com/eosdb/eos/internal/analysis/pairs"
+	"github.com/eosdb/eos/internal/analysis/unusedignore"
+	"github.com/eosdb/eos/internal/analysis/useafterunpin"
 	"github.com/eosdb/eos/internal/analysis/walfirst"
 )
 
-// Analyzers returns the eoslint suite.
+// Analyzers returns the eoslint suite.  unusedignore must come after
+// the checkers it audits only in the sense of the Requires graph; the
+// driver orders execution by that graph, not by this slice.
 func Analyzers() []*goanalysis.Analyzer {
 	return []*goanalysis.Analyzer{
-		pinpair.Analyzer,
+		pairs.Analyzer,
 		lockorder.Analyzer,
 		atomicfield.Analyzer,
 		walfirst.Analyzer,
 		errwrap.Analyzer,
+		useafterunpin.Analyzer,
+		guardedby.Analyzer,
+		unusedignore.Analyzer,
 	}
 }

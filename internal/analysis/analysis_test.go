@@ -11,8 +11,8 @@ import (
 // documented, runnable, and one registry entry per analyzer package.
 func TestRegistry(t *testing.T) {
 	as := eosanalysis.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("Analyzers() returned %d analyzers, want 5", len(as))
+	if len(as) != 8 {
+		t.Fatalf("Analyzers() returned %d analyzers, want 8", len(as))
 	}
 	seen := make(map[string]bool)
 	for _, a := range as {
@@ -27,7 +27,10 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("%s: Doc should have a summary line and a body", a.Name)
 		}
 	}
-	for _, name := range []string{"pinpair", "lockorder", "atomicfield", "walfirst", "errwrap"} {
+	for _, name := range []string{
+		"pairs", "lockorder", "atomicfield", "walfirst", "errwrap",
+		"useafterunpin", "guardedby", "unusedignore",
+	} {
 		if !seen[name] {
 			t.Errorf("registry is missing %s", name)
 		}

@@ -42,7 +42,7 @@ by construction).`
 var Analyzer = &analysis.Analyzer{
 	Name:     "atomicfield",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ignore.Analyzer},
 	Run:      run,
 }
 

@@ -67,6 +67,61 @@ func IsMethodCall(info *types.Info, call *ast.CallExpr, pkgName, typeName string
 	return "", false
 }
 
+// CalleeAny returns the *types.Func a call refers to, resolving
+// interface method calls as well as static ones (unlike Callee, which
+// returns nil for dynamic dispatch).  For an interface call the
+// returned func is the interface's method declaration.
+func CalleeAny(info *types.Info, call *ast.CallExpr) *types.Func {
+	if fn := typeutil.StaticCallee(info, call); fn != nil {
+		return fn
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// namedRecv returns the defining TypeName of fn's receiver, whether
+// the receiver is a (possibly pointer to) named struct or an
+// interface.
+func namedRecv(fn *types.Func) *types.TypeName {
+	if tn := ReceiverType(fn); tn != nil {
+		return tn
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if named, ok := sig.Recv().Type().(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// IsMethodCallAny is IsMethodCall extended to interface method calls:
+// it reports whether call invokes pkgName.typeName.<one of methods>
+// where typeName may be a struct or an interface, returning the
+// matched method name.
+func IsMethodCallAny(info *types.Info, call *ast.CallExpr, pkgName, typeName string, methods ...string) (string, bool) {
+	fn := CalleeAny(info, call)
+	if fn == nil {
+		return "", false
+	}
+	tn := namedRecv(fn)
+	if tn == nil || tn.Name() != typeName ||
+		tn.Pkg() == nil || tn.Pkg().Name() != pkgName {
+		return "", false
+	}
+	for _, m := range methods {
+		if fn.Name() == m {
+			return m, true
+		}
+	}
+	return "", false
+}
+
 // IsPkgFunc reports whether call invokes the package-level function
 // pkgPath.name (full import path; package-level functions are not
 // faked by fixtures, so the precise path is fine here).

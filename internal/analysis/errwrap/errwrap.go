@@ -33,7 +33,7 @@ chain stays walkable, and error values must be compared with errors.Is
 var Analyzer = &analysis.Analyzer{
 	Name:     "errwrap",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ignore.Analyzer},
 	Run:      run,
 }
 
@@ -62,7 +62,7 @@ func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
 
 // checkErrorf reports fmt.Errorf calls that format an error operand
 // without a matching %w verb.
-func checkErrorf(pass *analysis.Pass, ig *ignore.List, call *ast.CallExpr) {
+func checkErrorf(pass *analysis.Pass, ig *ignore.Reporter, call *ast.CallExpr) {
 	if !eosutil.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
 		return
 	}
@@ -85,7 +85,7 @@ func checkErrorf(pass *analysis.Pass, ig *ignore.List, call *ast.CallExpr) {
 }
 
 // checkCompare reports == / != between two error values.
-func checkCompare(pass *analysis.Pass, ig *ignore.List, bin *ast.BinaryExpr) {
+func checkCompare(pass *analysis.Pass, ig *ignore.Reporter, bin *ast.BinaryExpr) {
 	if bin.Op != token.EQL && bin.Op != token.NEQ {
 		return
 	}

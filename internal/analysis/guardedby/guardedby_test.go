@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analyzertest.Run(t, "../testdata", guardedby.Analyzer, "guardedby_bad", "guardedby_clean")
+}

@@ -10,63 +10,104 @@
 // suppresses the named analyzers for the whole function body.  The
 // reason is mandatory: an invariant exception with no stated
 // justification is itself reported by each analyzer through Report.
+//
+// Directive parsing runs once per package as a tiny analyzer whose
+// *List result is shared (via Requires) by every analyzer in the
+// suite.  Sharing one List is what makes the exception inventory
+// auditable: each successful suppression is recorded on the directive
+// that did it, and the unusedignore analyzer — which runs after the
+// rest of the suite — reports any directive that suppressed nothing.
 package ignore
 
 import (
 	"go/ast"
 	"go/token"
+	"reflect"
 	"strings"
+	"sync"
 
 	"golang.org/x/tools/go/analysis"
 )
 
 const prefix = "eoslint:ignore"
 
-// directive is one parsed //eoslint:ignore comment.
-type directive struct {
-	names  []string
-	reason string
+// Analyzer parses the //eoslint:ignore directives of a package.  Every
+// eoslint analyzer Requires it and reports through the resulting List,
+// so all of them see the same directive instances and the audit can
+// tell used directives from stale ones.
+var Analyzer = &analysis.Analyzer{
+	Name:       "eosignore",
+	Doc:        "parse //eoslint:ignore suppression directives (internal prerequisite)\n\nNot a checker: it feeds the parsed directive table to the rest of the suite.",
+	Run:        run,
+	ResultType: reflect.TypeOf((*List)(nil)),
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	return parseFiles(pass.Fset, pass.Files), nil
+}
+
+// Directive is one parsed //eoslint:ignore comment.
+type Directive struct {
+	Names  []string  // analyzer names the directive suppresses
+	Reason string    // text after "--"; empty means unjustified
+	Pos    token.Pos // position of the comment
+
+	used bool // a diagnostic was suppressed through this directive
 }
 
 // span is a function body covered by a doc-comment directive.
 type span struct {
 	start, end token.Pos
-	directive
+	d          *Directive
 }
 
-// List holds the parsed suppression directives of one package.
+// List holds the parsed suppression directives of one package.  It is
+// shared by every analyzer of the suite (they may run concurrently),
+// so the use-tracking is mutex-protected.
 type List struct {
-	pass *analysis.Pass
+	fset *token.FileSet
 	// byLine maps file:line to the directives ending on that line.
-	byLine map[string][]directive
+	byLine map[string][]*Directive
 	// spans are function bodies suppressed by doc-comment directives.
 	spans []span
+	// all lists every directive in parse order, for the audit.
+	all []*Directive
+
+	mu sync.Mutex
 }
 
-// For parses every //eoslint:ignore directive in the files of pass.
-func For(pass *analysis.Pass) *List {
-	l := &List{pass: pass, byLine: make(map[string][]directive)}
-	for _, f := range pass.Files {
+// parseFiles builds the List for a set of parsed files.
+func parseFiles(fset *token.FileSet, files []*ast.File) *List {
+	l := &List{fset: fset, byLine: make(map[string][]*Directive)}
+	byComment := make(map[*ast.Comment]*Directive)
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				d, ok := parse(c.Text)
 				if !ok {
 					continue
 				}
-				pos := pass.Fset.Position(c.End())
+				d.Pos = c.Pos()
+				l.all = append(l.all, d)
+				byComment[c] = d
+				pos := fset.Position(c.End())
 				key := lineKey(pos.Filename, pos.Line)
 				l.byLine[key] = append(l.byLine[key], d)
 			}
 		}
 		// A directive in a function's doc comment covers its whole body.
+		// The comment was already parsed above (doc comments appear in
+		// the file comment list too); the span must reuse that instance
+		// so a suppression through either route marks the same
+		// directive used.
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Doc == nil || fn.Body == nil {
 				continue
 			}
 			for _, c := range fn.Doc.List {
-				if d, ok := parse(c.Text); ok {
-					l.spans = append(l.spans, span{start: fn.Body.Pos(), end: fn.Body.End(), directive: d})
+				if d, ok := byComment[c]; ok {
+					l.spans = append(l.spans, span{start: fn.Body.Pos(), end: fn.Body.End(), d: d})
 				}
 			}
 		}
@@ -75,22 +116,32 @@ func For(pass *analysis.Pass) *List {
 }
 
 // parse extracts a directive from one comment's text.
-func parse(text string) (directive, bool) {
+func parse(text string) (*Directive, bool) {
 	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
 	if !strings.HasPrefix(text, prefix) {
-		return directive{}, false
+		return nil, false
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	rest := strings.TrimPrefix(text, prefix)
+	// The directive name must end at the prefix: "eoslint:ignored" is
+	// not a directive (and must not swallow part of an analyzer name).
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	rest = strings.TrimSpace(rest)
 	var reason string
 	if i := strings.Index(rest, "--"); i >= 0 {
 		reason = strings.TrimSpace(rest[i+2:])
 		rest = strings.TrimSpace(rest[:i])
 	}
 	names := strings.Split(rest, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
+	out := names[:0]
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
 	}
-	return directive{names: names, reason: reason}, true
+	return &Directive{Names: out, Reason: reason}, true
 }
 
 func lineKey(file string, line int) string {
@@ -98,7 +149,7 @@ func lineKey(file string, line int) string {
 }
 
 func itoa(n int) string {
-	if n == 0 {
+	if n <= 0 {
 		return "0"
 	}
 	var b [20]byte
@@ -111,15 +162,17 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// match returns the directive suppressing analyzer name at pos, if any.
-func (l *List) match(pos token.Pos, name string) (directive, bool) {
-	p := l.pass.Fset.Position(pos)
+// match returns the directive suppressing analyzer name at pos, if
+// any, and records the use.
+func (l *List) match(pos token.Pos, name string) (*Directive, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.fset.Position(pos)
 	for _, line := range []int{p.Line, p.Line - 1} {
 		for _, d := range l.byLine[lineKey(p.Filename, line)] {
-			for _, n := range d.names {
-				if n == name || n == "all" {
-					return d, true
-				}
+			if d.covers(name) {
+				d.used = true
+				return d, true
 			}
 		}
 	}
@@ -127,26 +180,68 @@ func (l *List) match(pos token.Pos, name string) (directive, bool) {
 		if pos < s.start || pos > s.end {
 			continue
 		}
-		for _, n := range s.names {
-			if n == name || n == "all" {
-				return s.directive, true
-			}
+		if s.d.covers(name) {
+			s.d.used = true
+			return s.d, true
 		}
 	}
-	return directive{}, false
+	return nil, false
+}
+
+func (d *Directive) covers(name string) bool {
+	for _, n := range d.Names {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns, after the suite has run, every directive that never
+// suppressed a diagnostic.  Only meaningful from an analyzer that
+// Requires the whole suite (unusedignore).
+func (l *List) Unused() []*Directive {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Directive
+	for _, d := range l.all {
+		if !d.used {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns every parsed directive in parse order.
+func (l *List) All() []*Directive {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Directive(nil), l.all...)
+}
+
+// Reporter filters one analyzer's diagnostics through the shared List.
+type Reporter struct {
+	pass *analysis.Pass
+	list *List
+}
+
+// For returns the Reporter for pass.  The calling analyzer must list
+// ignore.Analyzer in its Requires.
+func For(pass *analysis.Pass) *Reporter {
+	return &Reporter{pass: pass, list: pass.ResultOf[Analyzer].(*List)}
 }
 
 // Report emits a diagnostic for the analyzer of pass at pos unless an
 // //eoslint:ignore directive covers it.  A covering directive with no
 // "-- reason" clause is reported instead: exceptions to a storage
 // invariant must say why they are safe.
-func (l *List) Report(pos token.Pos, format string, args ...interface{}) {
-	d, ok := l.match(pos, l.pass.Analyzer.Name)
+func (r *Reporter) Report(pos token.Pos, format string, args ...interface{}) {
+	d, ok := r.list.match(pos, r.pass.Analyzer.Name)
 	if !ok {
-		l.pass.Reportf(pos, format, args...)
+		r.pass.Reportf(pos, format, args...)
 		return
 	}
-	if d.reason == "" {
-		l.pass.Reportf(pos, "eoslint:ignore %s without a '-- reason' clause", l.pass.Analyzer.Name)
+	if d.Reason == "" {
+		r.pass.Reportf(pos, "eoslint:ignore %s without a '-- reason' clause", r.pass.Analyzer.Name)
 	}
 }

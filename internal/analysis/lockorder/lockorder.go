@@ -54,7 +54,7 @@ and the pair deadlocks under concurrent load.`
 var Analyzer = &analysis.Analyzer{
 	Name:     "lockorder",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ignore.Analyzer},
 	Run:      run,
 }
 
@@ -151,7 +151,7 @@ type held struct {
 // Nested function literals are handled by their own visit (a closure
 // may run on another goroutine, where the enclosing lock set does not
 // apply).
-func checkFunc(pass *analysis.Pass, ig *ignore.List, order map[string]int, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, ig *ignore.Reporter, order map[string]int, body *ast.BlockStmt) {
 	var stack []held
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {

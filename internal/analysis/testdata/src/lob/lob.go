@@ -15,3 +15,16 @@ func (o *Object) Truncate(n int64) error                { return nil }
 func (o *Object) Compact() error                        { return nil }
 func (o *Object) Read(off int64, b []byte) (int, error) { return 0, nil }
 func (o *Object) Size() int64                           { return 0 }
+
+// PageNum numbers a page.
+type PageNum int64
+
+// Allocator is the stand-in page allocation interface the large-object
+// layer is parameterized over; pairs matches its methods through
+// dynamic dispatch.
+type Allocator interface {
+	Alloc(n int) (PageNum, error)
+	AllocUpTo(n int) (PageNum, int, error)
+	Free(p PageNum, n int) error
+	MaxSegmentPages() int
+}

@@ -81,3 +81,18 @@ func unranked(l *Log) {
 	local.Unlock()
 	l.mu.Unlock()
 }
+
+type Volume struct {
+	mu    sync.RWMutex
+	accMu sync.Mutex
+}
+
+// volumeDescent mirrors the disk I/O path: the page-data latch
+// (rank 60) is taken before the accounting mutex (rank 70), never the
+// other way around.
+func volumeDescent(v *Volume) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	v.accMu.Lock()
+	v.accMu.Unlock()
+}

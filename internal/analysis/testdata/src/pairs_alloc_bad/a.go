@@ -1,0 +1,44 @@
+// Package pairs_alloc_bad holds allocation-leak violations the pairs
+// analyzer must report: pages allocated from the buddy system that are
+// neither freed nor handed off before an error return.
+package pairs_alloc_bad
+
+import (
+	"errors"
+
+	"buddy"
+	"lob"
+)
+
+// leakOnError bails out with an error after allocating without
+// freeing the run.  (The condition read of pg does not transfer
+// ownership.)
+func leakOnError(m *buddy.Manager) error {
+	pg, err := m.Alloc(4) // want "alloc leak: pages from Alloc\\(...\\) in \"pg\" are not freed on an error-return path"
+	if err != nil {
+		return err
+	}
+	if pg%2 != 0 {
+		return errors.New("unaligned run")
+	}
+	return publish(m, pg)
+}
+
+// publish consumes the run on the success path (ownership transfer).
+func publish(m *buddy.Manager, pg buddy.PageNum) error { return nil }
+
+// viaAllocator leaks through the interface the large-object layer
+// actually allocates with: interface dispatch must match too.
+func viaAllocator(a lob.Allocator) error {
+	pg, n, err := a.AllocUpTo(8) // want "alloc leak: pages from AllocUpTo\\(...\\) in \"pg\" are not freed on an error-return path"
+	if err != nil {
+		return err
+	}
+	if n < 8 {
+		return errors.New("short run")
+	}
+	return record(a, pg, n)
+}
+
+// record consumes the run.
+func record(a lob.Allocator, pg lob.PageNum, n int) error { return nil }

@@ -1,0 +1,52 @@
+// Package pairs_mutex_bad holds ranked-latch violations the pairs
+// analyzer must report: a Lock on a lattice mutex that can reach a
+// function exit still held.
+package pairs_mutex_bad
+
+import "sync"
+
+// shard mirrors the buffer pool's shard: its mu is in the ranked
+// lattice, so Lock must pair with Unlock on every path.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// leakOnEarlyReturn forgets the unlock on the early return.
+func leakOnEarlyReturn(sh *shard, cond bool) int {
+	sh.mu.Lock() // want "latch leak: Lock\\(sh.mu\\) can reach a function exit without Unlock\\(sh.mu\\)"
+	if cond {
+		return 0
+	}
+	n := sh.n
+	sh.mu.Unlock()
+	return n
+}
+
+// Log mirrors the WAL: mu is ranked, and read latches leak the same
+// way write latches do.
+type Log struct {
+	mu   sync.RWMutex
+	tail []byte
+}
+
+// rlockLeak exits the early path holding the read latch.
+func rlockLeak(l *Log) int {
+	l.mu.RLock() // want "latch leak: RLock\\(l.mu\\) can reach a function exit without Unlock\\(l.mu\\)"
+	if len(l.tail) == 0 {
+		return 0
+	}
+	n := len(l.tail)
+	l.mu.RUnlock()
+	return n
+}
+
+// panicPathLeak holds the latch into a branch that falls off the end
+// of the function.
+func panicPathLeak(sh *shard, xs []int) {
+	sh.mu.Lock() // want "latch leak: Lock\\(sh.mu\\) can reach a function exit without Unlock\\(sh.mu\\)"
+	for _, x := range xs {
+		sh.n += x
+	}
+	// missing sh.mu.Unlock()
+}

@@ -1,0 +1,87 @@
+// Package useafterunpin_bad holds uses of a pinned page image after
+// its release — every one must be reported.
+package useafterunpin_bad
+
+import "buffer"
+
+// readAfterUnpin reads through the slice after releasing the pin.
+func readAfterUnpin(pool *buffer.Pool, pg buffer.PageID) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	_ = pool.Unpin(pg)
+	return img[0] // want "page image \"img\" returned after Unpin\\(pg\\)"
+}
+
+// writeAfterUnpin writes through the slice after releasing the pin:
+// this corrupts whatever page owns the frame now.
+func writeAfterUnpin(pool *buffer.Pool, pg buffer.PageID) {
+	img, err := pool.FixNew(pg)
+	if err != nil {
+		return
+	}
+	_ = pool.Unpin(pg)
+	img[0] = 1 // want "page image \"img\" used after Unpin\\(pg\\)"
+}
+
+// escapeAfterUnpin returns the whole slice after the pin is gone.
+func escapeAfterUnpin(pool *buffer.Pool, pg buffer.PageID) []byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return nil
+	}
+	_ = pool.Unpin(pg)
+	return img // want "page image \"img\" returned after Unpin\\(pg\\)"
+}
+
+// useAfterDiscard is the same bug through the discard path.
+func useAfterDiscard(pool *buffer.Pool, pg buffer.PageID) int {
+	img, err := pool.FixNew(pg)
+	if err != nil {
+		return 0
+	}
+	_ = pool.Discard(pg)
+	return len(img) // want "page image \"img\" returned after Discard\\(pg\\)"
+}
+
+// goroutineCapture launches a goroutine holding the image after the
+// unpin; it may run against a recycled frame.
+func goroutineCapture(pool *buffer.Pool, pg buffer.PageID) {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return
+	}
+	_ = pool.Unpin(pg)
+	go func() {
+		_ = img[0] // want "page image \"img\" captured by a function literal after Unpin\\(pg\\)"
+	}()
+}
+
+// unpinOnOneBranch releases on one branch only; the use after the
+// join is reachable from the released path.
+func unpinOnOneBranch(pool *buffer.Pool, pg buffer.PageID, early bool) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	if early {
+		_ = pool.Unpin(pg)
+	}
+	b := img[0] // want "page image \"img\" used after Unpin\\(pg\\)"
+	if !early {
+		_ = pool.Unpin(pg)
+	}
+	return b
+}
+
+// suppressedWithoutReason is ignored but gives no justification.
+func suppressedWithoutReason(pool *buffer.Pool, pg buffer.PageID) {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return
+	}
+	_ = pool.Unpin(pg)
+	//eoslint:ignore useafterunpin
+	_ = img[0] // want "eoslint:ignore useafterunpin without a '-- reason' clause"
+}

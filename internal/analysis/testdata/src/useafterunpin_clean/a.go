@@ -1,0 +1,102 @@
+// Package useafterunpin_clean holds correct page-image lifetimes the
+// analyzer must accept without diagnostics.
+package useafterunpin_clean
+
+import "buffer"
+
+// useThenUnpin finishes with the image before releasing.
+func useThenUnpin(pool *buffer.Pool, pg buffer.PageID) (byte, error) {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0, err
+	}
+	b := img[0]
+	return b, pool.Unpin(pg)
+}
+
+// deferredUnpin releases at function exit: every body use happens
+// while the pin is held.
+func deferredUnpin(pool *buffer.Pool, pg buffer.PageID) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	defer pool.Unpin(pg)
+	img[0] = 1
+	return img[0]
+}
+
+// refixed re-fixes the page into the same variable: the new image is
+// freshly pinned, so uses after it are fine.
+func refixed(pool *buffer.Pool, pg buffer.PageID) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	_ = img[0]
+	_ = pool.Unpin(pg)
+	img, err = pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	b := img[0]
+	_ = pool.Unpin(pg)
+	return b
+}
+
+// otherPage unpins a different page: img's pin is still held.
+func otherPage(pool *buffer.Pool, pg, other buffer.PageID) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	_ = pool.Unpin(other)
+	b := img[0]
+	_ = pool.Unpin(pg)
+	return b
+}
+
+// branchLocal uses and releases the image consistently on each branch.
+func branchLocal(pool *buffer.Pool, pg buffer.PageID, early bool) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	if early {
+		b := img[0]
+		_ = pool.Unpin(pg)
+		return b
+	}
+	b := img[1]
+	_ = pool.Unpin(pg)
+	return b
+}
+
+// loopRefix fixes, uses, and unpins each page per iteration; tracking
+// ends at each new Fix into the loop variable.
+func loopRefix(pool *buffer.Pool, pages []buffer.PageID) int {
+	sum := 0
+	for _, pg := range pages {
+		img, err := pool.Fix(pg)
+		if err != nil {
+			return 0
+		}
+		sum += int(img[0])
+		_ = pool.Unpin(pg)
+	}
+	return sum
+}
+
+// suppressedWithReason documents why the late use is safe.
+func suppressedWithReason(pool *buffer.Pool, pg buffer.PageID) byte {
+	img, err := pool.Fix(pg)
+	if err != nil {
+		return 0
+	}
+	snapshot := img[0]
+	_ = pool.Unpin(pg)
+	//eoslint:ignore useafterunpin -- reads a copied header byte, not the frame; img retained for a later re-fix comparison in debug builds
+	_ = img
+	_ = snapshot
+	return snapshot
+}

@@ -1,0 +1,12 @@
+package unusedignore_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/unusedignore"
+)
+
+func TestUnusedIgnore(t *testing.T) {
+	analyzertest.Run(t, "../testdata", unusedignore.Analyzer, "unusedignore_bad", "unusedignore_clean")
+}

@@ -1,0 +1,12 @@
+package useafterunpin_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/useafterunpin"
+)
+
+func TestUseAfterUnpin(t *testing.T) {
+	analyzertest.Run(t, "../testdata", useafterunpin.Analyzer, "useafterunpin_bad", "useafterunpin_clean")
+}

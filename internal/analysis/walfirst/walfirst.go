@@ -48,7 +48,7 @@ a (*wal.Log).Append call first.`
 var Analyzer = &analysis.Analyzer{
 	Name:     "walfirst",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer, ignore.Analyzer},
 	Run:      run,
 }
 
@@ -116,7 +116,7 @@ func recvTypeName(decl *ast.FuncDecl) string {
 // with no prior WAL append.  The walk scans each block's nodes in
 // order and stops a path at the first append: everything dominated by
 // it is safe.
-func checkFunc(pass *analysis.Pass, ig *ignore.List, g *cfg.CFG) {
+func checkFunc(pass *analysis.Pass, ig *ignore.Reporter, g *cfg.CFG) {
 	if len(g.Blocks) == 0 {
 		return
 	}

@@ -74,6 +74,7 @@ func E12Recovery() (*Table, error) {
 			return nil, err
 		}
 		if err := op.run(tx); err != nil {
+			_ = tx.Abort()
 			return nil, err
 		}
 		shadowed := tx.LOBStats().ShadowedIndexPages
@@ -114,6 +115,7 @@ func E12Recovery() (*Table, error) {
 		data := Pattern(6+i, 2048)
 		off := int64(i * 1000)
 		if err := tx.Insert("d", off, data); err != nil {
+			_ = tx.Abort()
 			return nil, err
 		}
 		if err := tx.Commit(); err != nil {

@@ -27,10 +27,10 @@ type ManagerStats struct {
 type Manager struct {
 	mu       sync.Mutex // the latch
 	pool     *buffer.Pool
-	spaces   []*Space
-	super    []int // optimistic max free segment size per space, pages
+	spaces   []*Space // eos:guardedby mu -- append-only; snapshot under mu before probing
+	super    []int    // eos:guardedby mu -- optimistic max free segment size per space, pages
 	useSuper bool
-	stats    ManagerStats
+	stats    ManagerStats // eos:guardedby mu
 }
 
 // NewManager creates a manager over an initial (possibly empty) set of
@@ -93,6 +93,8 @@ func FormatVolume(pool *buffer.Pool, vol *disk.Volume, firstPage disk.PageNum, n
 // candidates returns the indexes of spaces worth visiting for a request
 // that needs a free block of blockPages, most promising first, and counts
 // superdirectory skips.  Caller holds the latch.
+//
+// eos:requires m.mu
 func (m *Manager) candidatesLocked(blockPages int) []int {
 	idx := make([]int, 0, len(m.spaces))
 	for i := range m.spaces {
@@ -107,6 +109,8 @@ func (m *Manager) candidatesLocked(blockPages int) []int {
 
 // noteVisitLocked records the corrected superdirectory entry after a space
 // directory has been examined.  Caller holds the latch.
+//
+// eos:requires m.mu
 func (m *Manager) noteVisitLocked(i int) {
 	m.stats.SpacesVisited++
 	m.super[i] = m.spaces[i].LastMaxFree()
@@ -121,9 +125,12 @@ func (m *Manager) Alloc(n int) (disk.PageNum, error) {
 	block := 1 << uint(ceilPow2Type(n))
 	m.mu.Lock()
 	cands := m.candidatesLocked(block)
+	// Snapshot: AddSpace may append (and reallocate) m.spaces while the
+	// per-space directory probes below run outside the latch.
+	spaces := append([]*Space(nil), m.spaces...)
 	m.mu.Unlock()
 	for _, i := range cands {
-		p, err := m.spaces[i].Alloc(n)
+		p, err := spaces[i].Alloc(n)
 		m.mu.Lock()
 		m.noteVisitLocked(i)
 		if err == nil {
@@ -161,9 +168,10 @@ func (m *Manager) AllocUpTo(n int) (disk.PageNum, int, error) {
 			}
 		}
 	}
+	spaces := append([]*Space(nil), m.spaces...)
 	m.mu.Unlock()
 	for _, i := range order {
-		p, got, err := m.spaces[i].AllocUpTo(n)
+		p, got, err := spaces[i].AllocUpTo(n)
 		m.mu.Lock()
 		m.noteVisitLocked(i)
 		if err == nil {

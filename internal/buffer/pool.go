@@ -68,20 +68,27 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// frame is one buffer slot.  Frames are owned by exactly one shard and
+// every field transition happens under that shard's mutex; the data
+// *contents* are additionally mutated by pin holders, which is safe
+// because flushers skip pinned frames and pin transitions are also
+// under the shard mutex.
 type frame struct {
-	page    disk.PageNum
-	data    []byte
-	pins    int
-	dirty   bool
-	lruElem *list.Element // non-nil iff pins == 0
+	page disk.PageNum // eos:guardedby shard.mu
+	data []byte
+	pins int // eos:guardedby shard.mu
+	// dirty marks the frame as needing write-back before eviction.
+	dirty bool // eos:guardedby shard.mu
+	// lruElem is non-nil iff pins == 0.
+	lruElem *list.Element // eos:guardedby shard.mu
 }
 
 // shard is one independently locked sub-pool.
 type shard struct {
 	mu       sync.Mutex
 	capacity int
-	frames   map[disk.PageNum]*frame
-	lru      *list.List // of disk.PageNum, front = most recently unpinned
+	frames   map[disk.PageNum]*frame // eos:guardedby mu
+	lru      *list.List              // eos:guardedby mu -- of disk.PageNum, front = most recently unpinned
 
 	hits       atomic.Int64
 	misses     atomic.Int64
@@ -326,6 +333,8 @@ func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
 //
 // A nil, nil return means the wanted page became resident while waiting;
 // the caller must take its hit path instead.
+//
+// eos:requires sh.mu
 func (p *Pool) allocFrameLocked(sh *shard, want disk.PageNum) (*frame, error) {
 	var deadline time.Time
 	for {
@@ -361,6 +370,7 @@ func (p *Pool) allocFrameLocked(sh *shard, want disk.PageNum) (*frame, error) {
 		}
 		sh.mu.Unlock()
 		time.Sleep(200 * time.Microsecond)
+		//eoslint:ignore pairs -- reacquired for the caller: allocFrameLocked returns holding sh.mu by contract
 		sh.mu.Lock()
 		if _, ok := sh.frames[want]; ok {
 			return nil, nil

@@ -123,23 +123,23 @@ type Volume struct {
 	mu       sync.RWMutex // guards data, durable, dirty
 	pageSize int
 	numPages PageNum
-	data     []byte // numPages * pageSize
-	durable  []byte // last forced image of every page (crash survivors)
-	dirty    map[PageNum]bool
+	data     []byte           // eos:guardedby mu -- numPages * pageSize
+	durable  []byte           // eos:guardedby mu -- last forced image of every page (crash survivors)
+	dirty    map[PageNum]bool // eos:guardedby mu
 
 	// accMu guards the accounting state below.  It is always acquired
 	// while holding mu (shared or exclusive) and held only for the few
 	// counter updates, so concurrent multi-page reads serialize on it
 	// briefly but overlap their copies.
 	accMu   sync.Mutex
-	model   CostModel
-	stats   Stats
-	headPos PageNum // page following the last transferred page; -1 unknown
+	model   CostModel // eos:guardedby accMu
+	stats   Stats     // eos:guardedby accMu
+	headPos PageNum   // eos:guardedby accMu -- page following the last transferred page; -1 unknown
 
 	// Fault injection: when faultAfter reaches zero, every subsequent
 	// request fails with faultErr until ClearFault.
-	faultAfter int64
-	faultErr   error
+	faultAfter int64 // eos:guardedby accMu
+	faultErr   error // eos:guardedby accMu
 
 	tracer func(TraceEvent)
 
@@ -256,6 +256,8 @@ func (v *Volume) ClearFault() {
 
 // faultCheck consumes one request against the fault budget.  Caller
 // holds v.accMu.
+//
+// eos:requires v.accMu
 func (v *Volume) faultCheck() error {
 	if v.faultErr == nil {
 		return nil
@@ -276,6 +278,8 @@ func (v *Volume) checkRange(start PageNum, n int) error {
 
 // charge accounts one request and returns its modelled duration in
 // microseconds.  Caller holds v.accMu.
+//
+// eos:requires v.accMu
 func (v *Volume) charge(start PageNum, n int, write bool) int64 {
 	if n == 0 {
 		return 0

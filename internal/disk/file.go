@@ -71,9 +71,15 @@ func LoadVolume(path string, model CostModel) (*Volume, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := io.ReadFull(r, v.durable); err != nil {
+	// The volume is not yet shared, but take mu anyway so the image
+	// restore obeys the same discipline as every other page-data access.
+	v.mu.Lock()
+	_, err = io.ReadFull(r, v.durable)
+	if err != nil {
+		v.mu.Unlock()
 		return nil, fmt.Errorf("disk: truncated volume image: %w", err)
 	}
 	copy(v.data, v.durable)
+	v.mu.Unlock()
 	return v, nil
 }

@@ -187,6 +187,9 @@ func (m *Manager) writeNode(old disk.PageNum, n *node) (disk.PageNum, error) {
 		}
 		if old != 0 {
 			if err := m.alloc.Free(old, 1); err != nil {
+				// Return the fresh shadow page too: failing the write
+				// must not strand the page we just took.
+				_ = m.alloc.Free(page, 1)
 				return 0, err
 			}
 			m.st.shadowedIndexPages.Add(1)

@@ -15,18 +15,18 @@ import (
 // (or byte-range) granularity above this layer (§4.5).
 type Object struct {
 	m    *Manager
-	root *node
-	size int64
+	root *node // eos:guardedby catEntry.latch -- the caller's per-object latch
+	size int64 // eos:guardedby catEntry.latch
 
-	threshold int // segment size threshold T, pages
+	threshold int // segment size threshold T, pages; fixed at creation
 
 	// Append growth state (§4.1): the next segment to allocate when the
 	// eventual size is unknown doubles until the maximum segment size.
-	nextGrow int
+	nextGrow int // eos:guardedby catEntry.latch
 	// The last segment may be allocated beyond its trimmed length while
 	// an append sequence is in progress.
-	tailStart disk.PageNum
-	tailAlloc int // pages allocated to the tail segment; 0 = trimmed
+	tailStart disk.PageNum // eos:guardedby catEntry.latch
+	tailAlloc int          // eos:guardedby catEntry.latch -- pages allocated to the tail segment; 0 = trimmed
 
 	// lsn is the log sequence number of the last logged update, stored in
 	// the root so updates can be undone/redone idempotently (§4.5).

@@ -59,7 +59,7 @@ type objQueue struct {
 type LockTable struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	objects map[uint64]*objQueue
+	objects map[uint64]*objQueue // eos:guardedby mu
 	timeout time.Duration
 }
 

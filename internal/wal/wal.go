@@ -144,12 +144,12 @@ type Log struct {
 	mu       sync.Mutex
 	vol      *disk.Volume
 	ps       int
-	grouped  bool   // buffered appends + group commit (default); false = serial baseline
-	buf      []byte // records appended but not yet written to the volume
-	bufStart int64  // log byte offset of buf[0]; == bytes written to the volume
-	tail     int64  // next append offset (bytes), including the buffer
-	forced   int64  // offset through which records are durable
-	stats    Stats
+	grouped  bool   // eos:guardedby mu -- buffered appends + group commit (default); false = serial baseline
+	buf      []byte // eos:guardedby mu -- records appended but not yet written to the volume
+	bufStart int64  // eos:guardedby mu -- log byte offset of buf[0]; == bytes written to the volume
+	tail     int64  // eos:guardedby mu -- next append offset (bytes), including the buffer
+	forced   int64  // eos:guardedby mu -- offset through which records are durable
+	stats    Stats  // eos:guardedby mu
 }
 
 // New creates an empty log on vol.
@@ -467,6 +467,9 @@ func Recover(vol *disk.Volume) (*Log, []*Record, error) {
 	}); err != nil {
 		return nil, nil, err
 	}
+	// The log is not yet shared, but take mu anyway so the positioning
+	// stores obey the same discipline as every other tail update.
+	l.mu.Lock()
 	if n := len(recs); n > 0 {
 		last := recs[n-1]
 		// Tail = last record's end offset.
@@ -475,6 +478,7 @@ func Recover(vol *disk.Volume) (*Log, []*Record, error) {
 	}
 	l.forced = l.tail
 	l.bufStart = l.tail
+	l.mu.Unlock()
 	return l, recs, nil
 }
 
