@@ -118,6 +118,12 @@ type Options struct {
 	// log itself.  The write-path benchmarks use it as their baseline;
 	// durability semantics are identical either way.
 	SerialWAL bool
+	// SnapshotHistory is how many superseded committed root versions
+	// each object retains alongside the newest one (default 4).  A
+	// snapshot reader holding an epoch pin can step across the retained
+	// versions published since its pin, so long scans survive multiple
+	// overwrites without ever taking a lock.
+	SnapshotHistory int
 }
 
 func (o Options) withDefaults(vol *disk.Volume) (Options, error) {
@@ -132,6 +138,9 @@ func (o Options) withDefaults(vol *disk.Volume) (Options, error) {
 	}
 	if o.LockTimeout == 0 {
 		o.LockTimeout = 2 * time.Second
+	}
+	if o.SnapshotHistory == 0 {
+		o.SnapshotHistory = 4
 	}
 	_, maxCap, err := buddy.Layout(vol.PageSize())
 	if err != nil {
@@ -188,6 +197,7 @@ type Store struct {
 	lm     *lob.Manager
 	log    *wal.Log
 	locks  *txn.LockTable
+	epochs *txn.EpochManager
 	opts   Options
 
 	mu       sync.Mutex
@@ -227,7 +237,15 @@ func Format(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 		nextTxn:  1,
 		liveTxns: make(map[uint64]*Txn),
 	}
-	s.lm, err = lob.NewManager(vol, pool, bm, s.lobConfig())
+	s.epochs = txn.NewEpochManager(s.releaseRuns)
+	// Admission control: throttle mutators once a quarter of the volume
+	// sits retired awaiting reader grace periods.  Shadowing retires far
+	// more pages than stay live (every update supersedes whole runs), so
+	// under a write storm with concurrent snapshot scans the backlog
+	// grows at retire-rate × scan-duration; unbounded, it can transiently
+	// exhaust a small volume that is almost entirely free space.
+	s.epochs.SetBudget(int64(vol.NumPages()) / 4)
+	s.lm, err = lob.NewManager(vol, pool, &epochAlloc{s: s}, s.lobConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +273,113 @@ func (s *Store) lobConfig() lob.Config {
 		ShadowIndexPages:  !s.opts.DisableShadowing,
 		AdaptiveThreshold: s.opts.AdaptiveThreshold,
 		ReadWorkers:       s.opts.ReadConcurrency,
+		// Freed index pages stay readable (including their pool frames)
+		// until the epoch manager actually releases them — a published
+		// snapshot root may still name them.
+		RetainFreedPages: true,
 	}
+}
+
+// epochAlloc is the store-wide allocator: allocations go straight to
+// the buddy system, but frees are RETIRED into the current epoch and
+// reach buddy.Free only once no snapshot reader can still hold a
+// published root that names them.  It delegates through the Store
+// pointer because recovery replaces s.buddy wholesale.
+type epochAlloc struct{ s *Store }
+
+func (a *epochAlloc) Alloc(n int) (disk.PageNum, error) {
+	var w spaceWaiter
+	for {
+		p, err := a.s.buddy.Alloc(n)
+		if err != nil {
+			retry, rerr := w.wait(a.s.epochs, err)
+			if rerr != nil {
+				return 0, rerr
+			}
+			if retry {
+				continue
+			}
+			return 0, err
+		}
+		return p, nil
+	}
+}
+
+func (a *epochAlloc) AllocUpTo(n int) (disk.PageNum, int, error) {
+	var w spaceWaiter
+	for {
+		p, got, err := a.s.buddy.AllocUpTo(n)
+		if err != nil {
+			retry, rerr := w.wait(a.s.epochs, err)
+			if rerr != nil {
+				return 0, 0, rerr
+			}
+			if retry {
+				continue
+			}
+			return 0, 0, err
+		}
+		return p, got, nil
+	}
+}
+
+// Allocation backpressure bounds.  A retired run matures one full
+// reader grace period after the superseding publish, so when snapshot
+// scans overlap a write storm the steady-state backlog is roughly
+// retire-rate × scan-duration — on a small volume that can transiently
+// exceed the free space even though almost none of it is live data.
+// A failed allocation therefore waits out up to one grace period,
+// reclaiming as pins rotate, before reporting out-of-space.
+const (
+	allocBackpressureWait = 2 * time.Second
+	allocBackpressurePoll = 2 * time.Millisecond
+)
+
+// spaceWaiter paces allocation retries under space pressure: wait
+// reports whether the failed allocation should be retried after a
+// reclamation pass.  The first failure reclaims and retries at once
+// (the single-shot fast path); later rounds poll until nothing is
+// left pending or the deadline passes.  Waiting here is safe
+// mid-mutation: Reclaim never blocks (the caller's own scope just
+// caps the epoch advance one past its begin), and snapshot readers
+// take no latches, so the pins being waited out always drain — but
+// see EpochManager.Admit for why this path is the last resort.
+type spaceWaiter struct{ deadline time.Time }
+
+func (w *spaceWaiter) wait(em *txn.EpochManager, err error) (bool, error) {
+	if !errors.Is(err, buddy.ErrNoSpace) {
+		return false, nil
+	}
+	switch {
+	case w.deadline.IsZero():
+		w.deadline = time.Now().Add(allocBackpressureWait)
+	case time.Now().After(w.deadline), em.PendingPages() == 0:
+		return false, nil
+	default:
+		time.Sleep(allocBackpressurePoll)
+	}
+	return true, em.Reclaim()
+}
+func (a *epochAlloc) MaxSegmentPages() int { return a.s.buddy.MaxSegmentPages() }
+func (a *epochAlloc) Free(p disk.PageNum, n int) error {
+	a.s.epochs.Retire([]txn.Run{{Start: p, Pages: n}})
+	return nil
+}
+
+// releaseRuns is the epoch manager's free routine: retired runs whose
+// grace period has passed are dropped from the buffer pool (their
+// frames may hold never-flushed images of superseded index nodes —
+// garbage now) and returned to the buddy system.
+func (s *Store) releaseRuns(runs []txn.Run) error {
+	for _, r := range runs {
+		for i := 0; i < r.Pages; i++ {
+			s.pool.Discard(r.Start + disk.PageNum(i))
+		}
+		if err := s.buddy.Free(r.Start, r.Pages); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PageSize reports the data volume's page size.
@@ -342,7 +466,15 @@ func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 		nextTxn:  1,
 		liveTxns: make(map[uint64]*Txn),
 	}
-	s.lm, err = lob.NewManager(vol, pool, bm, s.lobConfig())
+	s.epochs = txn.NewEpochManager(s.releaseRuns)
+	// Admission control: throttle mutators once a quarter of the volume
+	// sits retired awaiting reader grace periods.  Shadowing retires far
+	// more pages than stay live (every update supersedes whole runs), so
+	// under a write storm with concurrent snapshot scans the backlog
+	// grows at retire-rate × scan-duration; unbounded, it can transiently
+	// exhaust a small volume that is almost entirely free space.
+	s.epochs.SetBudget(int64(vol.NumPages()) / 4)
+	s.lm, err = lob.NewManager(vol, pool, &epochAlloc{s: s}, s.lobConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -352,6 +484,16 @@ func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	// Publish every recovered object's root so snapshot readers can
+	// capture it; recovery itself runs single-threaded, so no reader can
+	// have observed the intermediate states.
+	s.mu.Lock()
+	for _, e := range s.catalog {
+		e.latch.Lock()
+		e.obj.Publish(s.opts.SnapshotHistory)
+		e.latch.Unlock()
+	}
+	s.mu.Unlock()
 	return s, nil
 }
 
@@ -364,6 +506,9 @@ func (s *Store) Close() error {
 		return fmt.Errorf("eos: %d transactions still live", len(s.liveTxns))
 	}
 	s.mu.Unlock()
+	if n := s.epochs.Pinned(); n > 0 {
+		return fmt.Errorf("eos: %d snapshots still open", n)
+	}
 	return s.Checkpoint()
 }
 
@@ -377,6 +522,16 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
+	// Reclaim every retired page no snapshot still pins before the flush
+	// below, so the checkpointed free-space directories account for them.
+	// Pages pinned by open snapshots stay allocated — a checkpoint fences
+	// snapshots rather than draining them: the pages a pinned root
+	// references are unreachable from the catalog, so a crash reclaims
+	// them at recovery, and a clean continuation frees them when the last
+	// reader exits.
+	if err := s.epochs.Drain(); err != nil {
+		return err
+	}
 	// The log can be truncated only at quiescence: live transactions'
 	// records (needed to undo their in-place writes, which the ForceAll
 	// below may make durable) must survive.  With transactions in flight
@@ -434,6 +589,7 @@ func (s *Store) Create(name string, threshold int) (*Object, error) {
 	s.nextID++
 	s.catalog[name] = e
 	s.byID[e.id] = e
+	e.obj.Publish(s.opts.SnapshotHistory)
 	return &Object{s: s, e: e}, nil
 }
 
@@ -449,22 +605,35 @@ func (s *Store) Open(name string) (*Object, error) {
 }
 
 // Destroy removes an object, returning all its pages to the free space.
+// The frees are retired through the epoch manager, so a snapshot opened
+// before the destroy keeps reading its captured root undisturbed; the
+// pages return to the buddy system when the last such reader exits.
 func (s *Store) Destroy(name string) error {
+	if err := s.epochs.Admit(); err != nil {
+		return err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.catalog[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	scope := s.epochs.BeginMutation()
 	e.latch.Lock()
 	err := e.obj.Destroy()
+	if err == nil {
+		e.obj.Publish(s.opts.SnapshotHistory)
+	}
 	e.latch.Unlock()
+	s.epochs.EndMutation(scope)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	delete(s.catalog, name)
 	delete(s.byID, e.id)
-	return nil
+	s.mu.Unlock()
+	return s.epochs.Reclaim()
 }
 
 // CopyObject duplicates src's content into a new object named dst,
@@ -512,6 +681,27 @@ func (s *Store) Rename(oldName, newName string) error {
 	return nil
 }
 
+// SnapshotStats reports snapshot-read and epoch-reclamation activity.
+type SnapshotStats struct {
+	// SnapshotReads counts reads served through published snapshot
+	// roots (no latch, no lock table).
+	SnapshotReads int64
+	// EpochAdvances counts global epoch advances.
+	EpochAdvances uint64
+	// RetiredPages counts pages ever retired into an epoch instead of
+	// being freed directly.
+	RetiredPages uint64
+	// PendingPages is the number of retired pages currently awaiting
+	// reclamation (held back by open snapshots or a not-yet-advanced
+	// epoch).
+	PendingPages int64
+	// OpenSnapshots is the number of epoch pins currently held.
+	OpenSnapshots int
+	// OldestEpochAge is how long the oldest unreclaimed epoch has been
+	// holding retired pages (zero when nothing is pending).
+	OldestEpochAge time.Duration
+}
+
 // Stats aggregates the store's activity counters across layers.
 type Stats struct {
 	Disk   disk.Stats
@@ -519,6 +709,7 @@ type Stats struct {
 	Buddy  buddy.ManagerStats
 	LOB    lob.Stats
 	WAL    wal.Stats
+	Snap   SnapshotStats
 	LogLen int64
 	// PoolHitRate is the buffer pool hit fraction in [0, 1] (1 when the
 	// pool has seen no traffic).
@@ -530,12 +721,21 @@ type Stats struct {
 // by — concurrent reads and updates.
 func (s *Store) Stats() Stats {
 	pool := s.pool.Stats()
+	lobStats := s.lm.Stats()
 	return Stats{
-		Disk:        s.vol.Stats(),
-		Pool:        pool,
-		Buddy:       s.buddy.Stats(),
-		LOB:         s.lm.Stats(),
-		WAL:         s.log.Stats(),
+		Disk:  s.vol.Stats(),
+		Pool:  pool,
+		Buddy: s.buddy.Stats(),
+		LOB:   lobStats,
+		WAL:   s.log.Stats(),
+		Snap: SnapshotStats{
+			SnapshotReads:  lobStats.SnapshotReads,
+			EpochAdvances:  s.epochs.Advances(),
+			RetiredPages:   s.epochs.RetiredPages(),
+			PendingPages:   s.epochs.PendingPages(),
+			OpenSnapshots:  s.epochs.Pinned(),
+			OldestEpochAge: s.epochs.OldestAge(),
+		},
 		LogLen:      s.log.Tail(),
 		PoolHitRate: pool.HitRate(),
 	}
@@ -576,9 +776,10 @@ func (s *Store) Check() error {
 }
 
 // CheckNoLeaks verifies page accounting at quiescence: every data page
-// is either free or reachable from some object descriptor.  It is not
-// meaningful while transactions are in flight (deferred frees hold
-// pages that no descriptor references).
+// is free, reachable from some object descriptor, or retired into an
+// epoch awaiting reclamation (pages a pinned snapshot root may still
+// reference).  It is not meaningful while transactions are in flight
+// (deferred frees hold pages that no descriptor references).
 func (s *Store) CheckNoLeaks() error {
 	s.mu.Lock()
 	reachable := 0
@@ -597,10 +798,11 @@ func (s *Store) CheckNoLeaks() error {
 	if err != nil {
 		return err
 	}
+	retired := int(s.epochs.PendingPages())
 	total := s.opts.NumSpaces * s.opts.SpaceCapacity
-	if free+reachable != total {
-		return fmt.Errorf("%w: %d free + %d reachable != %d total data pages (%d leaked)",
-			ErrCorruptStore, free, reachable, total, total-free-reachable)
+	if free+reachable+retired != total {
+		return fmt.Errorf("%w: %d free + %d reachable + %d retired != %d total data pages (%d leaked)",
+			ErrCorruptStore, free, reachable, retired, total, total-free-reachable-retired)
 	}
 	return nil
 }
@@ -617,6 +819,31 @@ type Object struct {
 // Name returns the object's name.
 func (o *Object) Name() string { return o.e.name }
 
+// mutate runs one structural update under the object latch and inside
+// an epoch mutation scope: superseded pages the operation frees are
+// retired one past the current epoch, and the new root is published
+// before the scope ends, so those retires cannot mature before this
+// operation's result is visible to snapshot readers.  The root is
+// republished even when op fails — lob operations unwind to a
+// consistent in-memory tree, and that tree is what latched readers see.
+// Reclaim runs outside the mutation scope: an open scope would block
+// the epoch advance Reclaim attempts.
+func (o *Object) mutate(op func(obj *lob.Object) error) error {
+	if err := o.s.epochs.Admit(); err != nil {
+		return err
+	}
+	scope := o.s.epochs.BeginMutation()
+	o.e.latch.Lock()
+	err := op(o.e.obj)
+	o.e.obj.Publish(o.s.opts.SnapshotHistory)
+	o.e.latch.Unlock()
+	o.s.epochs.EndMutation(scope)
+	if rerr := o.s.epochs.Reclaim(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
 // Size returns the object's length in bytes.
 func (o *Object) Size() int64 {
 	o.e.latch.RLock()
@@ -626,17 +853,13 @@ func (o *Object) Size() int64 {
 
 // Append appends data at the end of the object (§4.1).
 func (o *Object) Append(data []byte) error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.Append(data)
+	return o.mutate(func(obj *lob.Object) error { return obj.Append(data) })
 }
 
 // AppendWithHint appends data; a positive sizeHint (total expected bytes)
 // lets the manager allocate a segment just large enough (§4.1).
 func (o *Object) AppendWithHint(data []byte, sizeHint int64) error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.AppendWithHint(data, sizeHint)
+	return o.mutate(func(obj *lob.Object) error { return obj.AppendWithHint(data, sizeHint) })
 }
 
 // Appender streams appends into an object, write-latching the object
@@ -649,16 +872,18 @@ type Appender struct {
 
 // Write appends p to the object.
 func (a *Appender) Write(p []byte) (int, error) {
-	a.o.e.latch.Lock()
-	defer a.o.e.latch.Unlock()
-	return a.a.Write(p)
+	var n int
+	err := a.o.mutate(func(*lob.Object) error {
+		var werr error
+		n, werr = a.a.Write(p)
+		return werr
+	})
+	return n, err
 }
 
 // Close ends the append sequence, trimming the tail segment.
 func (a *Appender) Close() error {
-	a.o.e.latch.Lock()
-	defer a.o.e.latch.Unlock()
-	return a.a.Close()
+	return a.o.mutate(func(*lob.Object) error { return a.a.Close() })
 }
 
 // OpenAppender streams appends; Close trims the tail segment.  The
@@ -691,32 +916,24 @@ func (o *Object) Replace(off int64, data []byte) error {
 
 // Insert inserts data at byte off (§4.3.1).
 func (o *Object) Insert(off int64, data []byte) error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.Insert(off, data)
+	return o.mutate(func(obj *lob.Object) error { return obj.Insert(off, data) })
 }
 
 // Delete removes n bytes starting at byte off (§4.3.2).
 func (o *Object) Delete(off, n int64) error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.Delete(off, n)
+	return o.mutate(func(obj *lob.Object) error { return obj.Delete(off, n) })
 }
 
 // Truncate shortens the object to newSize bytes.
 func (o *Object) Truncate(newSize int64) error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.Truncate(newSize)
+	return o.mutate(func(obj *lob.Object) error { return obj.Truncate(newSize) })
 }
 
 // Compact rewrites the object into the fewest, largest contiguous
 // segments the free space allows, restoring sequential-scan performance
 // after heavy editing.
 func (o *Object) Compact() error {
-	o.e.latch.Lock()
-	defer o.e.latch.Unlock()
-	return o.e.obj.Compact()
+	return o.mutate(func(obj *lob.Object) error { return obj.Compact() })
 }
 
 // SetThreshold changes the object's segment size threshold T (§4.4).

@@ -50,6 +50,38 @@ func ExampleTxn() {
 	// Output: balance: 175
 }
 
+// ExampleStore_OpenSnapshot shows lock-free snapshot reads: a snapshot
+// captures the last committed root and keeps reading that version —
+// taking no latch and no lock — while writers move the object on.
+// Refresh re-captures the latest committed state.
+func ExampleStore_OpenSnapshot() {
+	vol := disk.MustNewVolume(1024, 4096, disk.DefaultCostModel())
+	logVol := disk.MustNewVolume(1024, 512, disk.DefaultCostModel())
+	store, _ := eos.Format(vol, logVol, eos.Options{})
+	obj, _ := store.Create("feed", 0)
+	obj.Append([]byte("first draft"))
+
+	sn, _ := store.OpenSnapshot("feed")
+	defer sn.Close()
+
+	// The writer restructures the object; the snapshot still reads the
+	// tree it captured.
+	obj.Delete(0, 6) // drop "first "
+	obj.Append([]byte(", revised"))
+
+	buf := make([]byte, sn.Size())
+	sn.ReadAt(buf, 0)
+	fmt.Println(string(buf))
+
+	sn.Refresh() // step forward to the latest committed root
+	buf = make([]byte, sn.Size())
+	sn.ReadAt(buf, 0)
+	fmt.Println(string(buf))
+	// Output:
+	// first draft
+	// draft, revised
+}
+
 // ExampleObject_OpenAppender streams an object in with unknown final
 // size; segments double and the tail is trimmed on Close (§4.1).
 func ExampleObject_OpenAppender() {

@@ -3,18 +3,19 @@
 //
 // The engine's locks form a lattice, acquired strictly downward:
 //
-//	rank 10  Store.mu          (store manager: catalog, txn table)
-//	rank 15  LockTable.mu      (transaction lock manager)
-//	rank 20  catEntry.latch    (per-object RW latch)
-//	rank 30  Txn.wmu           (transaction write set)
-//	rank 30  deferredAlloc.mu  (transaction deferred-free list)
-//	rank 35  Manager.mu        (buddy superdirectory latch)
-//	rank 38  Pool.flushMu      (buffer pool whole-pool write-back)
-//	rank 40  shard.mu          (buffer pool shard)
-//	rank 45  Log.forceMu       (group-commit leader force)
-//	rank 50  Log.mu            (write-ahead log buffer + tail state)
-//	rank 60  Volume.mu         (disk volume image)
-//	rank 70  Volume.accMu      (disk access-time accounting)
+//	rank 10  Store.mu           (store manager: catalog, txn table)
+//	rank 15  LockTable.mu       (transaction lock manager)
+//	rank 20  catEntry.latch     (per-object RW latch)
+//	rank 30  Txn.wmu            (transaction write set)
+//	rank 30  deferredAlloc.mu   (transaction deferred-free list)
+//	rank 33  EpochManager.mu    (epoch bookkeeping; leaf-like)
+//	rank 35  Manager.mu         (buddy superdirectory latch)
+//	rank 38  Pool.flushMu       (buffer pool whole-pool write-back)
+//	rank 40  shard.mu           (buffer pool shard)
+//	rank 45  Log.forceMu        (group-commit leader force)
+//	rank 50  Log.mu             (write-ahead log buffer + tail state)
+//	rank 60  Volume.mu          (disk volume image)
+//	rank 70  Volume.accMu       (disk access-time accounting)
 //
 // Acquiring a lock whose rank is lower than one already held inverts
 // the lattice; two goroutines taking the same pair in opposite orders
@@ -67,6 +68,7 @@ var defaultOrder = map[string]int{
 	"catEntry.latch":   20,
 	"Txn.wmu":          30,
 	"deferredAlloc.mu": 30,
+	"EpochManager.mu":  33, // epoch bookkeeping; freeFn never runs under it
 	"Manager.mu":       35, // buddy superdirectory latch
 	"Pool.flushMu":     38, // whole-pool write-back; before any shard.mu
 	"shard.mu":         40,

@@ -4,19 +4,24 @@
 // a Spec naming its acquire calls, its release calls, how the resource
 // token is identified at each site, and which paths must release.
 //
-// The default table covers the four disciplines the storage engine
+// The default table covers the five disciplines the storage engine
 // depends on:
 //
 //	pin    buffer.Pool.Fix/FixNew        → Unpin/Discard   (all paths)
 //	latch  ranked mutex Lock/RLock       → Unlock/RUnlock  (all paths)
 //	txn    eos.Store.Begin               → Commit/CommitNoForce/Abort
+//	epoch  txn.EpochManager.Enter        → EpochGuard.Exit (all paths)
 //	alloc  buddy Alloc/AllocUpTo         → Free            (error paths)
 //
 // A leaked pin makes a frame permanently unevictable; a leaked latch
 // deadlocks the next acquirer; an unfinished transaction holds its
-// two-phase locks forever; and pages allocated on a failed operation
-// path leak from the buddy space unless freed before the error
-// return.  The alloc spec checks only error-returning exits — on
+// two-phase locks forever; a leaked epoch guard pins its epoch and
+// blocks page reclamation for the life of the process; and pages
+// allocated on a failed operation path leak from the buddy space
+// unless freed before the error return.  The epoch spec stops
+// tracking a guard at its first other use (stored into a snapshot
+// structure, handed to a callee) — ownership transferred, and the new
+// owner's Close path carries the Exit.  The alloc spec checks only error-returning exits — on
 // success the pages' ownership transfers to the object tree — and
 // stops tracking a token at its first other use (ownership handed to
 // a callee or stored into a structure).
@@ -142,6 +147,7 @@ var rankedMutexes = map[string]bool{
 	"catEntry.latch":   true,
 	"Txn.wmu":          true,
 	"deferredAlloc.mu": true,
+	"EpochManager.mu":  true,
 	"Manager.mu":       true,
 	"Pool.flushMu":     true,
 	"shard.mu":         true,
@@ -176,6 +182,15 @@ func defaultSpecs() []*Spec {
 			ReleaseKey: KeyRecv,
 			ErrGuarded: true,
 			Hint:       "commit or abort on every path; an unfinished transaction holds its locks forever",
+		},
+		{
+			Name:          "epoch",
+			Acquire:       []matcher{{"txn", "EpochManager", []string{"Enter"}}},
+			Release:       []matcher{{"txn", "EpochGuard", []string{"Exit"}}},
+			AcquireKey:    KeyResult0,
+			ReleaseKey:    KeyRecv,
+			TransferOnUse: true,
+			Hint:          "Exit the guard on every path (or hand it off); a leaked pin blocks epoch reclamation forever",
 		},
 		{
 			Name: "alloc",

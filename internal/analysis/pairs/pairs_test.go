@@ -19,6 +19,10 @@ func TestTxn(t *testing.T) {
 	analyzertest.Run(t, "../testdata", pairs.Analyzer, "pairs_txn_bad", "pairs_txn_clean")
 }
 
+func TestEpoch(t *testing.T) {
+	analyzertest.Run(t, "../testdata", pairs.Analyzer, "pairs_epoch_bad", "pairs_epoch_clean")
+}
+
 func TestAlloc(t *testing.T) {
 	analyzertest.Run(t, "../testdata", pairs.Analyzer, "pairs_alloc_bad", "pairs_alloc_clean")
 }

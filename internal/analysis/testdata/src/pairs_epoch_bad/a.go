@@ -1,0 +1,38 @@
+// Package pairs_epoch_bad holds epoch-guard violations the pairs
+// analyzer must report: an Enter whose guard can reach a function exit
+// without Exit.  A leaked guard pins its epoch forever, so retired
+// pages are never returned to the free space map.
+package pairs_epoch_bad
+
+import "txn"
+
+// read is a stand-in snapshot read.
+func read() error { return nil }
+
+// leakOnError enters an epoch and returns a mid-read error without
+// exiting, pinning the epoch for the life of the process.
+func leakOnError(em *txn.EpochManager) error {
+	g := em.Enter() // want "epoch leak: Enter\\(g\\) can reach a function exit without Exit\\(g\\)"
+	if err := read(); err != nil {
+		return err
+	}
+	return g.Exit()
+}
+
+// neverExited enters an epoch and forgets the guard entirely (the
+// branch-condition read does not hand ownership off).
+func neverExited(em *txn.EpochManager) {
+	g := em.Enter() // want "epoch leak: Enter\\(g\\) can reach a function exit without Exit\\(g\\)"
+	if g == nil {
+		return
+	}
+}
+
+// exitSkippedOnBranch exits on only one branch.
+func exitSkippedOnBranch(em *txn.EpochManager, fast bool) error {
+	g := em.Enter() // want "epoch leak: Enter\\(g\\) can reach a function exit without Exit\\(g\\)"
+	if fast {
+		return nil
+	}
+	return g.Exit()
+}

@@ -1,0 +1,15 @@
+// Package txn is a stand-in for the engine's transactional substrate
+// with the epoch-guard shapes the pairs analyzer matches on.
+package txn
+
+// EpochManager is the stand-in epoch manager.
+type EpochManager struct{}
+
+// Enter pins the calling reader to the current epoch.
+func (em *EpochManager) Enter() *EpochGuard { return &EpochGuard{} }
+
+// EpochGuard is the stand-in reader pin.
+type EpochGuard struct{}
+
+// Exit releases the guard's pin.
+func (g *EpochGuard) Exit() error { return nil }

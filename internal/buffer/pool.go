@@ -79,6 +79,10 @@ type frame struct {
 	pins int // eos:guardedby shard.mu
 	// dirty marks the frame as needing write-back before eviction.
 	dirty bool // eos:guardedby shard.mu
+	// doomed marks a frame Discarded while pinned: its content is
+	// abandoned — never written back — but remains readable to the pin
+	// holders; the frame leaves the pool at the last Unpin.
+	doomed bool // eos:guardedby shard.mu
 	// lruElem is non-nil iff pins == 0.
 	lruElem *list.Element // eos:guardedby shard.mu
 }
@@ -295,6 +299,7 @@ func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
 			f.data[i] = 0
 		}
 		f.dirty = true
+		f.doomed = false // the page is being reinitialized for reuse
 		return f.data, nil
 	}
 	f, err := p.allocFrameLocked(sh, pg)
@@ -314,6 +319,7 @@ func (p *Pool) FixNew(pg disk.PageNum) ([]byte, error) {
 			rf.data[i] = 0
 		}
 		rf.dirty = true
+		rf.doomed = false
 		return rf.data, nil
 	}
 	for i := range f.data {
@@ -404,6 +410,10 @@ func (p *Pool) Unpin(pg disk.PageNum) error {
 	}
 	f.pins--
 	if f.pins == 0 {
+		if f.doomed {
+			delete(sh.frames, pg)
+			return nil
+		}
 		f.lruElem = sh.lru.PushFront(f.page)
 	}
 	return nil
@@ -518,13 +528,23 @@ func (p *Pool) flushShard(sh *shard) error {
 }
 
 // Discard drops pg from the pool without writing it back, regardless of
-// dirty state.  Used when a shadowed page is abandoned.
+// dirty state.  Used when a shadowed page is abandoned — in the epoch
+// reclamation path, at the moment a retired page actually returns to
+// the free space map.  A frame still pinned (a lock-free snapshot
+// reader mid-fix) is not yanked out from under its holders: it is
+// marked doomed — still readable, never flushed, not reusable — and
+// leaves the pool at the last Unpin.
 func (p *Pool) Discard(pg disk.PageNum) {
 	sh := p.shardFor(pg)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	f, ok := sh.frames[pg]
 	if !ok {
+		return
+	}
+	if f.pins > 0 {
+		f.doomed = true
+		f.dirty = false
 		return
 	}
 	if f.lruElem != nil {

@@ -220,6 +220,75 @@ func TestDiscardDropsDirtyData(t *testing.T) {
 	}
 }
 
+// TestDiscardWhilePinnedDooms checks the epoch-reclamation interplay:
+// discarding a pinned page must not rip the frame out from under its
+// reader.  The frame is doomed — still readable through the existing
+// pin, never written back — and disappears at the final Unpin.
+func TestDiscardWhilePinnedDooms(t *testing.T) {
+	pool, vol := newPoolT(t, 64, 8, 4)
+	img, err := pool.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[0] = 42
+	pool.MarkDirty(0)
+	pool.Discard(0) // pinned: dooms instead of removing
+	if !pool.Resident(0) {
+		t.Fatal("pinned frame removed by Discard")
+	}
+	if img[0] != 42 {
+		t.Fatal("doomed frame content changed under the pin")
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vol.Read(0, 1)
+	if got[0] != 0 {
+		t.Fatal("doomed frame written back")
+	}
+	if err := pool.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Resident(0) {
+		t.Error("doomed frame survived its last Unpin")
+	}
+	// The page is reusable afresh: FixNew must hand out a clean frame.
+	img2, err := pool.FixNew(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2[0] != 0 {
+		t.Error("FixNew returned stale doomed content")
+	}
+	pool.Unpin(0)
+}
+
+// TestDiscardNestedPinsDooms covers multiple pins: the doom sticks
+// until the last pin drops.
+func TestDiscardNestedPinsDooms(t *testing.T) {
+	pool, _ := newPoolT(t, 64, 8, 4)
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Fix(0); err != nil {
+		t.Fatal(err)
+	}
+	pool.MarkDirty(0)
+	pool.Discard(0)
+	if err := pool.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Resident(0) {
+		t.Fatal("doomed frame removed before its last pin dropped")
+	}
+	if err := pool.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Resident(0) {
+		t.Error("doomed frame survived its last Unpin")
+	}
+}
+
 func TestDiscardAllSimulatesCrash(t *testing.T) {
 	pool, vol := newPoolT(t, 64, 8, 4)
 	for pg := disk.PageNum(0); pg < 3; pg++ {

@@ -56,6 +56,16 @@ type Config struct {
 	// keeps the volume's seek accounting deterministic for the
 	// experiment harness.
 	ReadWorkers int
+	// RetainFreedPages keeps the buffer-pool frames of freed index pages
+	// resident instead of discarding them at free time.  Set when the
+	// allocator defers or retires frees (the transaction layer's
+	// deferred allocator, the epoch-reclamation path): a superseded node
+	// page must stay readable — including its possibly never-flushed
+	// pool frame — until the free actually reaches the buddy system,
+	// because a published snapshot root may still name it.  Whoever
+	// performs the eventual free is then responsible for discarding the
+	// frames.
+	RetainFreedPages bool
 }
 
 // Stats counts manager activity for the experiments.
@@ -74,6 +84,7 @@ type Stats struct {
 	LeafCompactions    int64 // [Bili91a] whole-node compactions
 	SegmentsCompacted  int64
 	ShadowedIndexPages int64
+	SnapshotReads      int64 // reads served through published snapshot roots
 }
 
 // stats is the manager's live counter set.  Every counter is atomic so
@@ -94,6 +105,7 @@ type stats struct {
 	leafCompactions    atomic.Int64
 	segmentsCompacted  atomic.Int64
 	shadowedIndexPages atomic.Int64
+	snapshotReads      atomic.Int64
 }
 
 // Manager provides large object storage over a volume, a buffer pool for
@@ -158,6 +170,7 @@ func (m *Manager) Stats() Stats {
 		LeafCompactions:    m.st.leafCompactions.Load(),
 		SegmentsCompacted:  m.st.segmentsCompacted.Load(),
 		ShadowedIndexPages: m.st.shadowedIndexPages.Load(),
+		SnapshotReads:      m.st.snapshotReads.Load(),
 	}
 }
 
@@ -206,9 +219,15 @@ func (m *Manager) writeNode(old disk.PageNum, n *node) (disk.PageNum, error) {
 	return page, nil
 }
 
-// freeNodePage returns an index page to the allocator.
+// freeNodePage returns an index page to the allocator.  Unless the
+// allocator retains frees (RetainFreedPages), the page's pool frame is
+// dropped here; retaining allocators keep the frame readable for
+// snapshot roots that still name the page and discard it at the actual
+// free.
 func (m *Manager) freeNodePage(p disk.PageNum) error {
-	m.pool.Discard(p)
+	if !m.cfg.RetainFreedPages {
+		m.pool.Discard(p)
+	}
 	return m.alloc.Free(p, 1)
 }
 

@@ -38,6 +38,12 @@ type Object struct {
 	// latch (the sequential prefetcher) record the version before reading
 	// and discard the staged bytes if any mutation intervened.
 	ver atomic.Int64
+
+	// published is the newest committed RootVersion (plus a short chain
+	// of retained older ones).  Snapshot readers load it with no locks;
+	// mutators store it via Publish after completing (or committing) an
+	// update and before the superseded pages can be freed.
+	published atomic.Pointer[RootVersion]
 }
 
 // NewObject creates an empty large object.  threshold <= 0 selects the

@@ -63,12 +63,20 @@ func (o *Object) ReadAt(buf []byte, off int64) error {
 		return err
 	}
 	o.m.st.reads.Add(1)
-	if o.m.readSem != nil {
-		return o.readAtFanOut(buf, off)
+	return o.m.readRange(o.root, buf, off)
+}
+
+// readRange reads len(buf) bytes starting at byte off of root's subtree.
+// It is shared by the live read path (under the object latch) and the
+// snapshot read path (over an immutable published root, no locks): the
+// walk itself only ever descends committed index pages.
+func (m *Manager) readRange(root *node, buf []byte, off int64) error {
+	if m.readSem != nil {
+		return m.readRangeFanOut(root, buf, off)
 	}
 	pos := 0
-	return o.m.walkRange(o.root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
-		if err := o.m.readSegRange(seg.ptr, segOff, buf[pos:pos+int(n)]); err != nil {
+	return m.walkRange(root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
+		if err := m.readSegRange(seg.ptr, segOff, buf[pos:pos+int(n)]); err != nil {
 			return err
 		}
 		pos += int(n)
@@ -86,16 +94,16 @@ type segSpan struct {
 	n      int
 }
 
-// readAtFanOut overlaps a multi-segment read's data transfers.  The
+// readRangeFanOut overlaps a multi-segment read's data transfers.  The
 // index walk stays sequential — node reads go through the buffer pool
 // and are usually hits — collecting the segment spans; the spans are
 // then dispatched concurrently, at most ReadWorkers in flight across
 // the whole manager.  Each span writes a disjoint slice of buf, so the
 // workers need no coordination beyond the first-error capture.
-func (o *Object) readAtFanOut(buf []byte, off int64) error {
+func (m *Manager) readRangeFanOut(root *node, buf []byte, off int64) error {
 	var spans []segSpan
 	pos := 0
-	if err := o.m.walkRange(o.root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
+	if err := m.walkRange(root, off, int64(len(buf)), func(seg entry, segOff, n int64) error {
 		spans = append(spans, segSpan{ptr: seg.ptr, segOff: segOff, pos: pos, n: int(n)})
 		pos += int(n)
 		return nil
@@ -107,7 +115,7 @@ func (o *Object) readAtFanOut(buf []byte, off int64) error {
 	}
 	if len(spans) == 1 {
 		s := spans[0]
-		return o.m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n])
+		return m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n])
 	}
 	var (
 		wg       sync.WaitGroup
@@ -115,14 +123,14 @@ func (o *Object) readAtFanOut(buf []byte, off int64) error {
 		firstErr error
 	)
 	for _, s := range spans {
-		o.m.readSem <- struct{}{}
+		m.readSem <- struct{}{}
 		wg.Add(1)
 		go func(s segSpan) {
 			defer func() {
-				<-o.m.readSem
+				<-m.readSem
 				wg.Done()
 			}()
-			if err := o.m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n]); err != nil {
+			if err := m.readSegRange(s.ptr, s.segOff, buf[s.pos:s.pos+s.n]); err != nil {
 				errOnce.Do(func() { firstErr = err })
 			}
 		}(s)

@@ -237,7 +237,7 @@ func (s *Store) rebuildFreeSpace() error {
 		prevObjs[n] = e
 	}
 	s.mu.Unlock()
-	s.lm, err = lob.NewManager(s.vol, s.pool, bm, s.lobConfig())
+	s.lm, err = lob.NewManager(s.vol, s.pool, &epochAlloc{s: s}, s.lobConfig())
 	if err != nil {
 		return err
 	}

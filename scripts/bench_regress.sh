@@ -2,11 +2,11 @@
 # bench_regress.sh — compare the read-path (BenchmarkParallelRead*,
 # BenchmarkParallelScan*) and write-path (BenchmarkParallelCommit*)
 # benchmarks against the checked-in baseline and fail on >10%
-# regressions.
+# regressions, and gate the snapshot read mode's intra-run ratios.
 #
 # Usage: scripts/bench_regress.sh [baseline-file]
 #
-# Two benchmark passes run:
+# Three benchmark passes run:
 #
 #   gate  — the raw in-memory *Mem benchmarks with -benchmem.  The
 #           hard gate compares allocs/op: allocation counts on the
@@ -21,6 +21,13 @@
 #           well past any usable threshold (50%+ observed), so a
 #           timing gate would be red noise — eyeball the info rows
 #           and the benchstat table when the gate flags nothing.
+#   snap  — BenchmarkSnapshotScan* (latency-simulated scans under an
+#           8-writer storm).  The hard gate here compares ratios
+#           WITHIN the run, which cancels machine drift: lock-free
+#           snapshot scans must sustain >=3x the locked-scan
+#           throughput under the storm, and >=90% of the idle-store
+#           scan throughput (BENCH_snapshot_scan.json records the
+#           accepted numbers).
 #
 # Regenerate the baseline after intentional read- or write-path
 # changes:
@@ -28,7 +35,9 @@
 #   { go test -run '^$' -bench 'BenchmarkParallel.*Mem' -cpu=1,8 \
 #         -benchtime=2000x -count=5 -benchmem . ;
 #     go test -run '^$' -bench 'BenchmarkParallel.*Lat' -cpu=1,8 \
-#         -benchtime=100x -count=3 . ; } > bench/baseline.txt
+#         -benchtime=100x -count=3 . ;
+#     go test -run '^$' -bench 'BenchmarkSnapshotScan' -cpu=8 \
+#         -benchtime=200x -count=2 . ; } > bench/baseline.txt
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,7 +58,34 @@ echo "running read+write-path benchmarks (gate: *Mem allocs/op, info: ns/op and 
         -benchtime=2000x -count=5 -benchmem .
     go test -run '^$' -bench 'BenchmarkParallel.*Lat' -cpu=1,8 \
         -benchtime=100x -count=3 .
+    go test -run '^$' -bench 'BenchmarkSnapshotScan' -cpu=8 \
+        -benchtime=200x -count=2 .
 } | tee "$CURRENT"
+
+# Snapshot read-mode gate: intra-run throughput ratios (best MB/s per
+# mode over -count runs; scheduler spikes only ever make a run slower).
+awk '
+/^BenchmarkSnapshotScan/ {
+    for (i = 3; i < NF; i++) if ($(i + 1) == "MB/s" && $i > best[$1]) best[$1] = $i
+}
+END {
+    idle = best["BenchmarkSnapshotScanIdle-8"]
+    locked = best["BenchmarkSnapshotScanUnderWrites/locked-8"]
+    snap = best["BenchmarkSnapshotScanUnderWrites/snapshot-8"]
+    if (idle == 0 || locked == 0 || snap == 0) {
+        print "snapshot gate: benchmark rows missing"; exit 1
+    }
+    status = 0
+    r = snap / locked
+    flag = (r >= 3.0) ? "ok" : "REGRESSION"; if (r < 3.0) status = 1
+    printf "\n== snapshot read-mode gate (intra-run ratios) ==\n"
+    printf "snapshot vs locked under storm   %6.1f vs %6.1f MB/s  ratio %4.2fx  (>=3.0x)  %s\n", snap, locked, r, flag
+    r = snap / idle
+    flag = (r >= 0.9) ? "ok" : "REGRESSION"; if (r < 0.9) status = 1
+    printf "snapshot under storm vs idle     %6.1f vs %6.1f MB/s  ratio %4.2fx  (>=0.90x) %s\n", snap, idle, r, flag
+    exit status
+}
+' "$CURRENT"
 
 if command -v benchstat >/dev/null 2>&1; then
     echo

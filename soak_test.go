@@ -433,6 +433,46 @@ func TestConcurrentReadersOneWriterPerObject(t *testing.T) {
 		}(i, o)
 	}
 
+	// Lock-free snapshot scanners: capture a committed root, scan it
+	// fully, and validate every byte — all mutations preserve byte =
+	// pattern(obj, offset), so the frozen view must validate too.
+	for i := range objs {
+		readers.Add(1)
+		go func(i int) {
+			defer readers.Done()
+			name := fmt.Sprintf("stress-%d", i)
+			for !stop.Load() {
+				sn, err := s.OpenSnapshot(name)
+				if err != nil {
+					report("obj %d snapshot: %v", i, err)
+					return
+				}
+				buf := make([]byte, 16<<10)
+				size := sn.Size()
+				for pos := int64(0); pos < size && !stop.Load(); {
+					n, err := sn.ReadAt(buf, pos)
+					if err != nil && err != io.EOF {
+						report("obj %d snapshot read: %v", i, err)
+						sn.Close()
+						return
+					}
+					for j := 0; j < n; j++ {
+						if buf[j] != pattern(i, pos+int64(j)) {
+							report("obj %d snapshot: byte %d = %d, want %d", i, pos+int64(j), buf[j], pattern(i, pos+int64(j)))
+							sn.Close()
+							return
+						}
+					}
+					pos += int64(n)
+				}
+				if err := sn.Close(); err != nil {
+					report("obj %d snapshot close: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+
 	// Checkpoints and stats snapshots while everything runs.
 	readers.Add(1)
 	go func() {

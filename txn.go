@@ -149,7 +149,7 @@ func (s *Store) Begin() (*Txn, error) {
 	t := &Txn{
 		s:        s,
 		id:       id,
-		alloc:    &deferredAlloc{inner: s.buddy},
+		alloc:    &deferredAlloc{inner: &epochAlloc{s: s}},
 		touched:  make(map[uint64]*txnObj),
 		writeSet: make(map[disk.PageNum]bool),
 	}
@@ -534,11 +534,6 @@ func (t *Txn) commit(force bool) error {
 			return err
 		}
 	}
-	// Apply the deferred frees; their directory updates ride along with
-	// the data force below (or are reconstructed by recovery).
-	if err := t.alloc.apply(); err != nil {
-		return err
-	}
 	t.s.mu.Lock()
 	for _, to := range t.touched {
 		if to.entry.txnDirty == t.id {
@@ -546,6 +541,19 @@ func (t *Txn) commit(force bool) error {
 			to.entry.obj.Rebind(t.s.lm)
 		}
 	}
+	t.s.mu.Unlock()
+	// Publish the committed roots BEFORE applying the deferred frees:
+	// the frees retire the superseded pages into the current epoch, and
+	// the epoch-reclamation invariant requires every retired batch's
+	// replacement root to be visible to snapshot readers before the
+	// epoch that holds the batch can advance.
+	t.publishTouched()
+	// Apply the deferred frees; their directory updates ride along with
+	// the data force below (or are reconstructed by recovery).
+	if err := t.alloc.apply(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
 	delete(t.s.liveTxns, t.id)
 	var err error
 	if force && !readOnly {
@@ -553,7 +561,29 @@ func (t *Txn) commit(force bool) error {
 	}
 	t.s.mu.Unlock()
 	t.s.locks.ReleaseAll(t.id)
+	if rerr := t.s.epochs.Reclaim(); err == nil {
+		err = rerr
+	}
 	return err
+}
+
+// publishTouched installs each touched object's current root as its
+// newest committed version.  Objects the transaction destroyed (no
+// longer in the catalog) keep their last pre-destroy version for any
+// snapshot still holding it.  The transaction's exclusive locks are
+// still held, so no other committer can be publishing these objects.
+func (t *Txn) publishTouched() {
+	for _, to := range t.touched {
+		t.s.mu.Lock()
+		live := t.s.byID[to.entry.id] == to.entry
+		t.s.mu.Unlock()
+		if !live {
+			continue
+		}
+		to.entry.latch.Lock()
+		to.entry.obj.Publish(t.s.opts.SnapshotHistory)
+		to.entry.latch.Unlock()
+	}
 }
 
 // forceDurableLocked writes the catalog and forces the volume, skipping
@@ -594,10 +624,11 @@ func (s *Store) forceDurableLocked(t *Txn) error {
 // descriptor snapshot resurrects a destroyed object), surviving deferred
 // frees are applied, and locks are released.
 //
-//eoslint:ignore walfirst -- logical undo: every compensation replays a
 // pre-image the forward operation already logged, and the abort record
 // is forced before any freed page becomes reusable, so write-ahead
 // coverage is provided by the forward records.
+//
+//eoslint:ignore walfirst -- logical undo: every compensation replays a
 func (t *Txn) Abort() error {
 	if err := t.check(); err != nil {
 		return err
@@ -649,11 +680,7 @@ func (t *Txn) Abort() error {
 	if err := t.s.log.ForceLSN(rec.LSN); err != nil {
 		return err
 	}
-	if err := t.alloc.apply(); err != nil {
-		return err
-	}
 	t.s.mu.Lock()
-	delete(t.s.liveTxns, t.id)
 	for _, to := range t.touched {
 		if to.entry.txnDirty == t.id {
 			to.entry.txnDirty = 0
@@ -661,6 +688,17 @@ func (t *Txn) Abort() error {
 		}
 		to.entry.obj.SetLSN(to.prevLSN)
 	}
+	t.s.mu.Unlock()
+	// The logical undos rebuilt the touched trees out of fresh pages, so
+	// the surviving deferred frees include pages the last published
+	// (pre-transaction) roots still name.  Republish the restored roots
+	// before applying the frees — same invariant as commit.
+	t.publishTouched()
+	if err := t.alloc.apply(); err != nil {
+		return err
+	}
+	t.s.mu.Lock()
+	delete(t.s.liveTxns, t.id)
 	// An abort must leave the durable state self-consistent: its
 	// compensations were written in place, its frees may let pages be
 	// reused, and neither may become durable without the catalog that
@@ -668,5 +706,8 @@ func (t *Txn) Abort() error {
 	err := t.s.forceDurableLocked(t)
 	t.s.mu.Unlock()
 	t.s.locks.ReleaseAll(t.id)
+	if rerr := t.s.epochs.Reclaim(); err == nil {
+		err = rerr
+	}
 	return err
 }
