@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint eoslint bench
+.PHONY: build test race lint eoslint lint-ssa bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,10 @@ lint:
 # Just the repo's own invariant analyzers.
 eoslint:
 	scripts/lint.sh eoslint
+
+# Just the whole-program passes (deadlock, walfirstip, leaksip).
+lint-ssa:
+	scripts/lint.sh --ssa
 
 bench:
 	scripts/bench_regress.sh

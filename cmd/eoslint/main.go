@@ -1,12 +1,15 @@
 // Command eoslint runs the storage engine's custom static analyzers
 // (pairs, lockorder, atomicfield, walfirst, errwrap, useafterunpin,
-// guardedby, unusedignore) over Go packages.
+// guardedby, the whole-program passes deadlock, walfirstip and
+// leaksip, and the unusedignore audit) over Go packages.
 //
 // Usage:
 //
-//	go run ./cmd/eoslint ./...        # analyze packages (drives go vet)
-//	go run ./cmd/eoslint -json ./...  # machine-readable diagnostics
-//	eoslint help [analyzer]           # describe analyzers and flags
+//	go run ./cmd/eoslint ./...         # analyze packages (drives go vet)
+//	go run ./cmd/eoslint -json ./...   # machine-readable diagnostics
+//	go run ./cmd/eoslint -sarif ./...  # SARIF 2.1.0 on stdout
+//	go run ./cmd/eoslint -ssa ./...    # interprocedural passes only
+//	eoslint help [analyzer]            # describe analyzers and flags
 //
 // The binary speaks the `go vet -vettool` unitchecker protocol
 // (-V=full, -flags, unit.cfg); invoked with ordinary package patterns
@@ -21,6 +24,17 @@
 // (which always exits 0), eoslint still exits 1 when any diagnostic
 // was reported, so scripted callers need not parse the stream to learn
 // whether the tree is clean.
+//
+// With -sarif, the same diagnostics are converted to a SARIF 2.1.0
+// log on stdout (rule metadata taken from the analyzers' docs) for
+// GitHub code-scanning upload; the exit code is 1 when any result is
+// present, as with -json.
+//
+// With -ssa, only the SSA-based whole-program passes (deadlock,
+// walfirstip, leaksip) report: the flag forwards the corresponding
+// analyzer-selection flags to go vet.  Useful for iterating on the
+// interprocedural suite without the noise (or cost) of re-verifying
+// the intraprocedural invariants.
 package main
 
 import (
@@ -43,13 +57,20 @@ func main() {
 	}
 
 	jsonMode := false
+	sarifMode := false
+	ssaOnly := false
 	patterns := make([]string, 0, len(os.Args)-1)
 	for _, a := range os.Args[1:] {
-		if a == "-json" || a == "--json" {
+		switch a {
+		case "-json", "--json":
 			jsonMode = true
-			continue
+		case "-sarif", "--sarif":
+			sarifMode = true
+		case "-ssa", "--ssa":
+			ssaOnly = true
+		default:
+			patterns = append(patterns, a)
 		}
-		patterns = append(patterns, a)
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -60,27 +81,51 @@ func main() {
 		os.Exit(1)
 	}
 	args := []string{"vet", "-vettool=" + exe}
-	if jsonMode {
+	if jsonMode || sarifMode {
 		args = append(args, "-json")
+	}
+	if ssaOnly {
+		// Analyzer-selection flags: with any set, only the named
+		// analyzers report (their prerequisites still run for facts).
+		args = append(args, "-deadlock", "-walfirstip", "-leaksip")
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stdout = os.Stdout
 	// go vet writes its -json stream (like its plain diagnostics) to
 	// stderr; tee it so the exit code can reflect what was reported.
+	// In SARIF mode the stream is captured only: stdout carries the
+	// converted log and stderr stays reserved for real errors.
 	var out bytes.Buffer
-	if jsonMode {
+	switch {
+	case sarifMode:
+		cmd.Stderr = &out
+	case jsonMode:
 		cmd.Stderr = io.MultiWriter(os.Stderr, &out)
-	} else {
+	default:
 		cmd.Stderr = os.Stderr
 	}
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
+		if sarifMode {
+			os.Stderr.Write(out.Bytes())
+		}
 		if ee, ok := err.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
 		}
 		fmt.Fprintf(os.Stderr, "eoslint: %v\n", err)
 		os.Exit(1)
+	}
+	if sarifMode {
+		diags := collectDiagnostics(out.Bytes())
+		if err := writeSARIF(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "eoslint: %v\n", err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if jsonMode && jsonHasDiagnostics(out.Bytes()) {
 		os.Exit(1)

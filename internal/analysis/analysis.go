@@ -2,8 +2,12 @@
 // go/analysis checkers that machine-enforce the storage engine's
 // concurrency and recovery invariants (acquire/release pairing, latch
 // order, guarded-field locking, pin lifetimes, atomics discipline,
-// the §4.5 write-ahead rule, and error wrapping), plus the audit that
-// keeps the //eoslint:ignore exception inventory honest.
+// the §4.5 write-ahead rule, and error wrapping), their whole-program
+// extensions built on the internal ssa facility (deadlock, walfirstip,
+// leaksip — interprocedural latch-lattice verification, cross-function
+// write-ahead dominance, and context-sensitive resource-leak
+// propagation), plus the audit that keeps the //eoslint:ignore
+// exception inventory honest.
 //
 // The suite runs under `go vet` via cmd/eoslint and in CI via
 // scripts/lint.sh; see the "Static analysis" section of README.md and
@@ -14,13 +18,16 @@ import (
 	goanalysis "golang.org/x/tools/go/analysis"
 
 	"github.com/eosdb/eos/internal/analysis/atomicfield"
+	"github.com/eosdb/eos/internal/analysis/deadlock"
 	"github.com/eosdb/eos/internal/analysis/errwrap"
 	"github.com/eosdb/eos/internal/analysis/guardedby"
+	"github.com/eosdb/eos/internal/analysis/leaksip"
 	"github.com/eosdb/eos/internal/analysis/lockorder"
 	"github.com/eosdb/eos/internal/analysis/pairs"
 	"github.com/eosdb/eos/internal/analysis/unusedignore"
 	"github.com/eosdb/eos/internal/analysis/useafterunpin"
 	"github.com/eosdb/eos/internal/analysis/walfirst"
+	"github.com/eosdb/eos/internal/analysis/walfirstip"
 )
 
 // Analyzers returns the eoslint suite.  unusedignore must come after
@@ -35,6 +42,9 @@ func Analyzers() []*goanalysis.Analyzer {
 		errwrap.Analyzer,
 		useafterunpin.Analyzer,
 		guardedby.Analyzer,
+		deadlock.Analyzer,
+		walfirstip.Analyzer,
+		leaksip.Analyzer,
 		unusedignore.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package deadlock_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/deadlock"
+)
+
+func TestDeadlock(t *testing.T) {
+	analyzertest.Run(t, "../testdata", deadlock.Analyzer, "deadlock_bad", "deadlock_clean")
+}

@@ -96,6 +96,10 @@ func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"//eoslint:ignore pairs -- reason",
 		"// eoslint:ignore pairs,guardedby,useafterunpin -- multi list",
+		"//eoslint:ignore deadlock -- interprocedural pass name",
+		"//eoslint:ignore walfirstip,leaksip -- whole-program pair",
+		"//eoslint:ignore deadlock,walfirstip,leaksip -- full ssa suite",
+		"//eoslint:ignore leaksip -- writeNode only allocates when passed page 0",
 		"//eoslint:ignore all",
 		"//eoslint:ignore -- reason only",
 		"//eoslint:ignore ,,,",

@@ -1,0 +1,729 @@
+// Package leaksip defines the whole-program extension of the pairs
+// engine: context-sensitive proof that pins, latches, transactions,
+// epoch guards, and buddy allocations are released on every
+// interprocedural path.
+//
+// The pairs analyzer checks literal acquire calls (Fix, Lock, Begin,
+// Enter, Alloc) against the exits of the function that contains them,
+// and recognizes single-hop releaser helpers through ReleasesFact.
+// Two shapes escape it:
+//
+//   - A wrapper that acquires: `lockShard(sh)` leaves sh.mu held, but
+//     the caller's body contains no Lock call for pairs to see, so a
+//     caller that forgets to unlock is silent.
+//
+//   - A wrapper that returns a fresh resource: `openTxn(s)` hands the
+//     caller a transaction the caller must finish; discarding or
+//     dropping it is invisible to pairs.
+//
+// This analyzer computes, bottom-up over the ssa call graph and across
+// packages via ResFact object facts, three summaries per function:
+// Releases (transitively propagated to a true fixed point, where pairs
+// iterates a bounded number of times), Acquires (parameters whose
+// resource the function acquires and leaves held on return), and
+// Returns (results carrying a freshly acquired resource).  Every call
+// to a function with an Acquires or Returns entry becomes a derived
+// acquire site in the caller, checked with the pairs path engine
+// (pairs.LeaksOn) and this analyzer's propagated summaries plugged in
+// as the release recognizer.
+//
+// Context sensitivity is by propagation: when the derived site's token
+// is itself a parameter of the enclosing function, the obligation is
+// not reported there — the enclosing function inherits the Acquires
+// entry and each of its callers is checked against its own exits.
+// Reports therefore always name a concrete site where a locally owned
+// resource escapes, with the acquiring call chain spelled out.
+//
+// Only calls to named functions create derived sites; pairs owns every
+// literal acquire call, so the two analyzers never report the same
+// site twice.  Test files are exempt, as in pairs.
+package leaksip
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+
+	"github.com/eosdb/eos/internal/analysis/eosutil"
+	"github.com/eosdb/eos/internal/analysis/ignore"
+	"github.com/eosdb/eos/internal/analysis/pairs"
+	"github.com/eosdb/eos/internal/analysis/ssa"
+)
+
+const doc = `check acquire/release pairing across function boundaries (whole-program)
+
+A helper that acquires a latch, pin, transaction, epoch guard, or
+allocation on behalf of its caller creates an obligation the caller
+must discharge: function summaries (releases / acquires-and-holds /
+returns-acquired) propagate bottom-up over the call graph and across
+packages, and every call to an acquiring helper is checked against the
+caller's exits with the pairs path engine.`
+
+// Analyzer is the leaksip analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "leaksip",
+	Doc:       doc,
+	Requires:  []*analysis.Analyzer{ssa.Analyzer, ctrlflow.Analyzer, ignore.Analyzer},
+	Run:       run,
+	FactTypes: []analysis.Fact{new(ResFact)},
+}
+
+// ResFact is the exported per-function resource summary.
+type ResFact struct {
+	// Releases lists parameters whose resource this function releases
+	// (transitively, to a fixed point).
+	Releases []pairs.ParamRelease
+	// Acquires lists parameters whose resource this function acquires
+	// and leaves held when it returns.
+	Acquires []ParamAcq
+	// Returns lists specs whose resource the function's first result
+	// carries, freshly acquired.
+	Returns []RetAcq
+}
+
+// ParamAcq is one acquired-and-held parameter: the Spec name, the
+// parameter index (-1 for the receiver), a token suffix for mutex
+// resources (".mu" when the function locks param.mu), and the call
+// chain below this function that performs the acquisition.
+type ParamAcq struct {
+	Spec   string
+	Param  int
+	Suffix string
+	Chain  []string
+}
+
+// RetAcq marks the function's first result as carrying a freshly
+// acquired resource.  ErrGuarded mirrors the spec: the function's last
+// result is an error and a failed call acquires nothing.
+type RetAcq struct {
+	Spec       string
+	ErrGuarded bool
+	Chain      []string
+}
+
+// AFact marks ResFact as an analysis fact.
+func (*ResFact) AFact() {}
+
+func (f *ResFact) String() string {
+	var parts []string
+	for _, p := range f.Releases {
+		parts = append(parts, fmt.Sprintf("rel:%s:%d%s", p.Spec, p.Param, p.Suffix))
+	}
+	for _, a := range f.Acquires {
+		parts = append(parts, fmt.Sprintf("acq:%s:%d%s", a.Spec, a.Param, a.Suffix))
+	}
+	for _, r := range f.Returns {
+		parts = append(parts, "ret:"+r.Spec)
+	}
+	return "res(" + strings.Join(parts, ",") + ")"
+}
+
+// maxChain bounds recorded acquisition chains.
+const maxChain = 8
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pr := pass.ResultOf[ssa.Analyzer].(*ssa.Program)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ig := ignore.For(pass)
+
+	specs := pairs.DefaultSpecs()
+	byName := make(map[string]*pairs.Spec, len(specs))
+	for _, sp := range specs {
+		byName[sp.Name] = sp
+	}
+
+	c := &checker{
+		pass:      pass,
+		pr:        pr,
+		cfgs:      cfgs,
+		ig:        ig,
+		specs:     specs,
+		byName:    byName,
+		summaries: make(map[*ssa.Func]*ResFact),
+	}
+	for _, f := range pr.Funcs {
+		c.summaries[f] = new(ResFact)
+	}
+	c.convergeReleases()
+	c.computeAcquires()
+	c.exportFacts()
+	for _, f := range pr.Funcs {
+		if c.isTestFunc(f) {
+			continue
+		}
+		c.checkFunc(f)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	pr        *ssa.Program
+	cfgs      *ctrlflow.CFGs
+	ig        *ignore.Reporter
+	specs     []*pairs.Spec
+	byName    map[string]*pairs.Spec
+	summaries map[*ssa.Func]*ResFact
+}
+
+func (c *checker) isTestFunc(f *ssa.Func) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(f.Decl.Pos()).Filename, "_test.go")
+}
+
+// factFor returns the summary of a resolved callee: the in-package
+// summary (possibly still converging) or the imported cross-package
+// fact, or nil.
+func (c *checker) factFor(fn *types.Func) *ResFact {
+	if f, ok := c.pr.ByObj[fn]; ok {
+		return c.summaries[f]
+	}
+	var imported ResFact
+	if c.pass.ImportObjectFact(fn, &imported) {
+		return &imported
+	}
+	return nil
+}
+
+// hook is the release recognizer plugged into the pairs path engine:
+// a call releases (sp, token) when the callee's propagated Releases
+// summary covers the matching argument.
+func (c *checker) hook(call *ast.CallExpr, sp *pairs.Spec, token string) bool {
+	fn := eosutil.CalleeAny(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	rf := c.factFor(fn)
+	if rf == nil {
+		return false
+	}
+	for _, prel := range rf.Releases {
+		if prel.Spec != sp.Name {
+			continue
+		}
+		if tok, ok := pairs.ReleaseTokenAt(c.pass, call, prel); ok && tok == token {
+			return true
+		}
+	}
+	return false
+}
+
+// paramIndex maps a function's parameter (and receiver) names to their
+// fact indices: receiver -1, parameters 0..n-1.
+func paramIndex(decl *ast.FuncDecl) map[string]int {
+	params := make(map[string]int)
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		for _, nm := range decl.Recv.List[0].Names {
+			params[nm.Name] = -1
+		}
+	}
+	idx := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			for _, nm := range field.Names {
+				params[nm.Name] = idx
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	return params
+}
+
+// relKey identifies one released resource within a body.
+type relKey struct{ spec, token string }
+
+// releasedSet collects every (spec, token) released anywhere in f's
+// body: direct release calls and calls whose callee's propagated
+// Releases summary covers the argument.  Deferred releases count;
+// releases inside non-deferred function literals do not (the literal
+// may never run here).
+func (c *checker) releasedSet(f *ssa.Func) map[relKey]bool {
+	out := make(map[relKey]bool)
+	scan := func(call *ast.CallExpr) {
+		for _, sp := range c.specs {
+			if tok, ok := sp.ReleaseTokenOf(c.pass, call); ok {
+				out[relKey{sp.Name, tok}] = true
+			}
+		}
+		if fn := eosutil.CalleeAny(c.pass.TypesInfo, call); fn != nil {
+			if rf := c.factFor(fn); rf != nil {
+				for _, prel := range rf.Releases {
+					if tok, ok := pairs.ReleaseTokenAt(c.pass, call, prel); ok {
+						out[relKey{prel.Spec, tok}] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			scan(n.Call)
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						scan(call)
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			scan(n)
+		}
+		return true
+	})
+	return out
+}
+
+// convergeReleases computes the Releases summaries to a true fixed
+// point, bottom-up over the SCCs.  Entries only ever accumulate, so
+// the iteration converges.
+func (c *checker) convergeReleases() {
+	for _, scc := range c.pr.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				if c.updateReleases(f) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) updateReleases(f *ssa.Func) bool {
+	sum := c.summaries[f]
+	params := paramIndex(f.Decl)
+	if len(params) == 0 {
+		return false
+	}
+	seen := make(map[pairs.ParamRelease]bool, len(sum.Releases))
+	for _, prel := range sum.Releases {
+		seen[prel] = true
+	}
+	changed := false
+	for rk := range c.releasedSet(f) {
+		base, suffix := rk.token, ""
+		if sp := c.byName[rk.spec]; sp != nil && sp.MutexFields != nil {
+			if i := strings.LastIndex(rk.token, "."); i > 0 {
+				base, suffix = rk.token[:i], rk.token[i:]
+			}
+		}
+		i, isParam := params[base]
+		if !isParam {
+			continue
+		}
+		prel := pairs.ParamRelease{Spec: rk.spec, Param: i, Suffix: suffix}
+		if !seen[prel] {
+			seen[prel] = true
+			sum.Releases = append(sum.Releases, prel)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// acqEvent is one acquire performed by a body: a direct spec acquire
+// or a call to a function with an Acquires/Returns summary.
+type acqEvent struct {
+	spec   string
+	call   *ast.CallExpr
+	method string   // acquiring callee, for diagnostics
+	token  string   // "" for result-keyed events (resolved from assignment)
+	chain  []string // call chain below this function
+	ret    bool     // event produces the resource as the call's first result
+}
+
+// acquireEvents collects f's acquire events outside function literals.
+// Deferred acquires are ignored (they run at exit; nothing downstream
+// can release them in this body).
+func (c *checker) acquireEvents(f *ssa.Func) []acqEvent {
+	var out []acqEvent
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			for _, sp := range c.specs {
+				method, token, ok := sp.AcquireSite(c.pass, n)
+				if !ok {
+					continue
+				}
+				out = append(out, acqEvent{
+					spec:   sp.Name,
+					call:   n,
+					method: method,
+					token:  token,
+					ret:    sp.AcquireKey == pairs.KeyResult0,
+				})
+			}
+			fn := eosutil.CalleeAny(c.pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			rf := c.factFor(fn)
+			if rf == nil {
+				return true
+			}
+			label := ssa.FuncLabel(c.pass.Pkg, fn)
+			for _, acq := range rf.Acquires {
+				var tok string
+				if acq.Param == -1 {
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					tok = types.ExprString(sel.X) + acq.Suffix
+				} else {
+					if acq.Param >= len(n.Args) {
+						continue
+					}
+					tok = types.ExprString(n.Args[acq.Param]) + acq.Suffix
+				}
+				out = append(out, acqEvent{
+					spec:   acq.Spec,
+					call:   n,
+					method: label,
+					token:  tok,
+					chain:  capChain(append([]string{label}, acq.Chain...)),
+				})
+			}
+			for _, ret := range rf.Returns {
+				out = append(out, acqEvent{
+					spec:   ret.Spec,
+					call:   n,
+					method: label,
+					chain:  capChain(append([]string{label}, ret.Chain...)),
+					ret:    true,
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func capChain(chain []string) []string {
+	if len(chain) > maxChain {
+		return chain[:maxChain]
+	}
+	return chain
+}
+
+// computeAcquires derives the Acquires and Returns summaries, one
+// fixed point per SCC, with the Releases summaries already converged.
+// An acquire event whose token is released somewhere in the same body
+// is balanced and contributes nothing; a parameter-keyed event makes
+// the parameter held-on-return; a result-keyed event whose result
+// variable is returned makes the function a producer.
+func (c *checker) computeAcquires() {
+	for _, scc := range c.pr.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				if c.updateAcquires(f) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) updateAcquires(f *ssa.Func) bool {
+	sum := c.summaries[f]
+	params := paramIndex(f.Decl)
+	released := c.releasedSet(f)
+	returned := returnedObjs(c.pass, f.Decl)
+
+	type acqKey struct {
+		spec   string
+		param  int
+		suffix string
+	}
+	seenAcq := make(map[acqKey]bool)
+	for _, a := range sum.Acquires {
+		seenAcq[acqKey{a.Spec, a.Param, a.Suffix}] = true
+	}
+	seenRet := make(map[string]bool)
+	for _, r := range sum.Returns {
+		seenRet[r.Spec] = true
+	}
+
+	changed := false
+	for _, ev := range c.acquireEvents(f) {
+		sp := c.byName[ev.spec]
+		if sp == nil {
+			continue
+		}
+		if ev.ret {
+			// Result-keyed: the function produces the resource when the
+			// call's result is (or flows to a variable that is) returned
+			// without a release in this body.
+			tokenObj, _ := assignTarget(c.pass, f.Decl.Body, ev.call)
+			directReturn := isReturnedCall(f.Decl.Body, ev.call)
+			if tokenObj == nil && !directReturn {
+				continue // discarded or locally consumed; checkFunc reports
+			}
+			if tokenObj != nil {
+				if released[relKey{ev.spec, tokenObj.Name()}] {
+					continue
+				}
+				// TransferOnUse specs hand ownership off at the first
+				// non-return use (the rule pairs applies at literal
+				// sites): a function that uses the token before
+				// returning it is not a producer.
+				if sp.TransferOnUse && usedOutsideReturn(c.pass, f.Decl.Body, tokenObj, ev.call) {
+					continue
+				}
+				if !returned[tokenObj] {
+					continue
+				}
+			}
+			if !seenRet[ev.spec] {
+				seenRet[ev.spec] = true
+				sum.Returns = append(sum.Returns, RetAcq{
+					Spec:       ev.spec,
+					ErrGuarded: sp.ErrGuarded && lastResultIsError(f.Obj),
+					Chain:      ev.chain,
+				})
+				changed = true
+			}
+			continue
+		}
+		// Parameter-keyed: held on return when the token names a
+		// parameter and nothing in the body releases it.
+		if released[relKey{ev.spec, ev.token}] {
+			continue
+		}
+		base, suffix := splitSuffix(sp, ev.token)
+		i, isParam := params[base]
+		if !isParam {
+			continue
+		}
+		key := acqKey{ev.spec, i, suffix}
+		if !seenAcq[key] {
+			seenAcq[key] = true
+			sum.Acquires = append(sum.Acquires, ParamAcq{
+				Spec: ev.spec, Param: i, Suffix: suffix, Chain: ev.chain,
+			})
+			changed = true
+		}
+	}
+	return changed
+}
+
+// splitSuffix splits a mutex token ("sh.mu") into its base and field
+// suffix; non-mutex tokens pass through whole.
+func splitSuffix(sp *pairs.Spec, token string) (base, suffix string) {
+	if sp.MutexFields != nil {
+		if i := strings.LastIndex(token, "."); i > 0 {
+			return token[:i], token[i:]
+		}
+	}
+	return token, ""
+}
+
+// returnedObjs collects the objects of identifiers appearing in return
+// statements of decl (outside function literals).
+func returnedObjs(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// usedOutsideReturn reports whether tokenObj is used after the acquire
+// call anywhere but a return statement: for TransferOnUse specs such a
+// use hands ownership off, so the resource does not escape through the
+// function's results.
+func usedOutsideReturn(pass *analysis.Pass, body *ast.BlockStmt, tokenObj types.Object, call *ast.CallExpr) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.Ident:
+			if n.Pos() > call.End() && pass.TypesInfo.ObjectOf(n) == tokenObj {
+				used = true
+			}
+		}
+		return !used
+	})
+	return used
+}
+
+// isReturnedCall reports whether call appears directly as a return
+// result (`return openTxn(s)`).
+func isReturnedCall(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if res == call {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// assignTarget resolves the variable the call's first result is
+// assigned to, and the error variable of the assignment, if any.  A
+// single-result error call (`err := pinPage(p, a)`) has an error
+// variable but no token.
+func assignTarget(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr) (tokenObj, errVar types.Object) {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || as.Rhs[0] != call {
+			return true
+		}
+		done = true
+		lastIsError := false
+		if tv, ok := pass.TypesInfo.Types[call]; ok {
+			t := tv.Type
+			if tuple, isTuple := t.(*types.Tuple); isTuple && tuple.Len() > 0 {
+				t = tuple.At(tuple.Len() - 1).Type()
+			}
+			lastIsError = eosutil.IsErrorType(t)
+		}
+		if lastIsError {
+			if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+				errVar = pass.TypesInfo.ObjectOf(id)
+			}
+		}
+		if len(as.Lhs) >= 2 || !lastIsError {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				tokenObj = pass.TypesInfo.ObjectOf(id)
+			}
+		}
+		return false
+	})
+	return tokenObj, errVar
+}
+
+// lastResultIsError reports whether fn's last result is an error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return eosutil.IsErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+// exportFacts publishes the converged summaries.
+func (c *checker) exportFacts() {
+	for f, sum := range c.summaries {
+		if len(sum.Releases) > 0 || len(sum.Acquires) > 0 || len(sum.Returns) > 0 {
+			c.pass.ExportObjectFact(f.Obj, sum)
+		}
+	}
+}
+
+// checkFunc checks every derived acquire site in f: a call whose
+// callee's summary acquires a resource that is locally owned here.
+func (c *checker) checkFunc(f *ssa.Func) {
+	g := c.cfgs.FuncDecl(f.Decl)
+	if g == nil {
+		return
+	}
+	params := paramIndex(f.Decl)
+	returned := returnedObjs(c.pass, f.Decl)
+	hook := pairs.ReleaseHook(c.hook)
+
+	for _, ev := range c.acquireEvents(f) {
+		if len(ev.chain) == 0 {
+			continue // literal acquire call: pairs owns the report
+		}
+		sp := c.byName[ev.spec]
+		if sp == nil {
+			continue
+		}
+		if ev.ret {
+			tokenObj, errVar := assignTarget(c.pass, f.Decl.Body, ev.call)
+			if isReturnedCall(f.Decl.Body, ev.call) {
+				continue // propagated: this function is a producer too
+			}
+			if tokenObj == nil {
+				c.ig.Report(ev.call.Pos(),
+					"interprocedural %s leak: %s returns an acquired %s that is discarded (%s)",
+					ev.spec, strings.Join(ev.chain, " → "), ev.spec, sp.Hint)
+				continue
+			}
+			if returned[tokenObj] {
+				continue // propagated: checked in each caller
+			}
+			ob := &pairs.Obligation{
+				Spec:     sp,
+				Call:     ev.call,
+				Method:   ev.method,
+				Token:    tokenObj.Name(),
+				TokenObj: tokenObj,
+			}
+			if sp.ErrGuarded {
+				ob.ErrVar = errVar
+			}
+			if pairs.LeaksOn(c.pass, g, ob, hook) {
+				c.ig.Report(ev.call.Pos(),
+					"interprocedural %s leak: %q acquired by call chain %s can reach a function exit without release (%s)",
+					ev.spec, ob.Token, strings.Join(ev.chain, " → "), sp.Hint)
+			}
+			continue
+		}
+		// Parameter-keyed derived site: skip when the token is this
+		// function's own parameter — the obligation propagates to the
+		// callers through this function's Acquires summary.
+		base, _ := splitSuffix(sp, ev.token)
+		if _, isParam := params[base]; isParam {
+			continue
+		}
+		_, errVar := assignTarget(c.pass, f.Decl.Body, ev.call)
+		ob := &pairs.Obligation{
+			Spec:   sp,
+			Call:   ev.call,
+			Method: ev.method,
+			Token:  ev.token,
+		}
+		if sp.ErrGuarded {
+			ob.ErrVar = errVar
+		}
+		if pairs.LeaksOn(c.pass, g, ob, hook) {
+			c.ig.Report(ev.call.Pos(),
+				"interprocedural %s leak: call chain %s acquires %s and no subsequent path releases it before exit (%s)",
+				ev.spec, strings.Join(ev.chain, " → "), ev.token, sp.Hint)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package leaksip_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/leaksip"
+)
+
+func TestLeaksIP(t *testing.T) {
+	analyzertest.Run(t, "../testdata", leaksip.Analyzer, "leaksip_bad", "leaksip_clean")
+}

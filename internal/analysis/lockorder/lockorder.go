@@ -42,6 +42,7 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"github.com/eosdb/eos/internal/analysis/ignore"
+	"github.com/eosdb/eos/internal/analysis/ssa"
 )
 
 const doc = `check that latches are acquired in the documented lattice order
@@ -61,22 +62,10 @@ var Analyzer = &analysis.Analyzer{
 
 // defaultOrder is the engine's lattice, keyed by "Type.field" of the
 // mutex field.  Matching is by type and field name (not import path)
-// so the analysistest fixtures can declare stand-in types.
-var defaultOrder = map[string]int{
-	"Store.mu":         10,
-	"LockTable.mu":     15,
-	"catEntry.latch":   20,
-	"Txn.wmu":          30,
-	"deferredAlloc.mu": 30,
-	"EpochManager.mu":  33, // epoch bookkeeping; freeFn never runs under it
-	"Manager.mu":       35, // buddy superdirectory latch
-	"Pool.flushMu":     38, // whole-pool write-back; before any shard.mu
-	"shard.mu":         40,
-	"Log.forceMu":      45, // group-commit leader force; before Log.mu
-	"Log.mu":           50,
-	"Volume.mu":        60,
-	"Volume.accMu":     70,
-}
+// so the analysistest fixtures can declare stand-in types.  The table
+// is owned by the ssa facility so the intraprocedural check here and
+// the whole-program deadlock pass can never disagree about a rank.
+var defaultOrder = ssa.LockRanks()
 
 // rankName labels the lattice levels for diagnostics.
 func rankName(r int) string {

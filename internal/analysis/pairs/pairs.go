@@ -63,6 +63,7 @@ import (
 
 	"github.com/eosdb/eos/internal/analysis/eosutil"
 	"github.com/eosdb/eos/internal/analysis/ignore"
+	"github.com/eosdb/eos/internal/analysis/ssa"
 )
 
 const doc = `check that paired acquire/release calls balance on every path
@@ -140,21 +141,22 @@ type Spec struct {
 }
 
 // rankedMutexes is the lockorder lattice's key set: the engine mutexes
-// whose Lock must pair with an Unlock on every path.
-var rankedMutexes = map[string]bool{
-	"Store.mu":         true,
-	"LockTable.mu":     true,
-	"catEntry.latch":   true,
-	"Txn.wmu":          true,
-	"deferredAlloc.mu": true,
-	"EpochManager.mu":  true,
-	"Manager.mu":       true,
-	"Pool.flushMu":     true,
-	"shard.mu":         true,
-	"Log.forceMu":      true,
-	"Log.mu":           true,
-	"Volume.mu":        true,
-	"Volume.accMu":     true,
+// whose Lock must pair with an Unlock on every path.  Derived from the
+// canonical table in the ssa facility so the pairing, ordering, and
+// whole-program deadlock checks share one lattice.
+var rankedMutexes = func() map[string]bool {
+	m := make(map[string]bool)
+	for k := range ssa.LockRanks() {
+		m[k] = true
+	}
+	return m
+}()
+
+// DefaultSpecs returns the engine's pairing table.  The leaksip
+// analyzer shares it so the whole-program extension can never disagree
+// with this analyzer about what pairs with what.
+func DefaultSpecs() []*Spec {
+	return defaultSpecs()
 }
 
 // defaultSpecs returns the engine's pairing table.
@@ -279,6 +281,85 @@ func (f *ReleasesFact) String() string {
 		parts = append(parts, fmt.Sprintf("%s:%d%s", p.Spec, p.Param, p.Suffix))
 	}
 	return "releases(" + strings.Join(parts, ",") + ")"
+}
+
+// ReleaseHook recognizes releasing calls beyond the spec's own release
+// matchers.  pairs plugs in its single-hop ReleasesFact lookup; the
+// leaksip analyzer plugs in its transitively propagated summaries.
+// The hook must be self-contained: when non-nil it fully replaces the
+// fact lookup (an analyzer can only read facts of types it declares).
+type ReleaseHook func(call *ast.CallExpr, sp *Spec, token string) bool
+
+// Obligation is an externally derived acquire site: a call that
+// transitively acquires a resource the caller must release.  The
+// leaksip analyzer builds these from its whole-program summaries and
+// checks them with the same path engine this analyzer uses for literal
+// acquire calls.
+type Obligation struct {
+	Spec     *Spec
+	Call     *ast.CallExpr
+	Method   string // acquiring callee, for diagnostics
+	Token    string // expression string identifying the resource
+	TokenObj types.Object
+	ErrVar   types.Object // error variable guarding the acquire, if any
+}
+
+// LeaksOn reports whether some path from ob's call to an exit of g
+// misses the release, consulting hook for call-based releases.
+func LeaksOn(pass *analysis.Pass, g *cfg.CFG, ob *Obligation, hook ReleaseHook) bool {
+	s := &site{
+		spec:     ob.Spec,
+		call:     ob.Call,
+		method:   ob.Method,
+		token:    ob.Token,
+		tokenObj: ob.TokenObj,
+		errVar:   ob.ErrVar,
+	}
+	return leaks(pass, g, s, hook)
+}
+
+// ReleaseTokenOf reports whether call is one of sp's release calls,
+// and the token it releases.
+func (sp *Spec) ReleaseTokenOf(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	return releaseToken(pass, sp, call)
+}
+
+// AcquireSite reports whether call is one of sp's acquire calls.  The
+// returned token identifies the resource for arg0-, receiver-, and
+// mutex-keyed specs; result-keyed specs return an empty token (the
+// caller resolves it from the enclosing assignment).
+func (sp *Spec) AcquireSite(pass *analysis.Pass, call *ast.CallExpr) (method, token string, ok bool) {
+	if sp.MutexFields != nil {
+		_, m, tok, isLock := mutexEvent(pass, sp, call)
+		if !isLock || (m != "Lock" && m != "RLock") {
+			return "", "", false
+		}
+		return m, tok, true
+	}
+	m, matched := matchAny(pass, sp.Acquire, call)
+	if !matched {
+		return "", "", false
+	}
+	switch sp.AcquireKey {
+	case KeyArg0:
+		if len(call.Args) < 1 {
+			return "", "", false
+		}
+		return m, types.ExprString(call.Args[0]), true
+	case KeyRecv:
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return "", "", false
+		}
+		return m, types.ExprString(sel.X), true
+	}
+	return m, "", true
+}
+
+// ReleaseTokenAt resolves the token a releaser-fact entry releases at
+// a concrete call site.
+func ReleaseTokenAt(pass *analysis.Pass, call *ast.CallExpr, pr ParamRelease) (string, bool) {
+	return releaseTokenAt(pass, call, pr)
 }
 
 // site is one acquire call under check.
@@ -478,7 +559,7 @@ func releasedParams(pass *analysis.Pass, byName map[string]*Spec, specs []*Spec,
 func checkFunc(pass *analysis.Pass, ig *ignore.Reporter, byName map[string]*Spec, specs []*Spec, body *ast.BlockStmt, g *cfg.CFG) {
 	sites := collectSites(pass, specs, body)
 	for _, s := range sites {
-		if leaks(pass, g, s) {
+		if leaks(pass, g, s, nil) {
 			relNames := releaseNames(s.spec)
 			switch {
 			case s.spec.ErrorPathsOnly:
@@ -704,8 +785,9 @@ func releaseTokenAt(pass *analysis.Pass, call *ast.CallExpr, pr ParamRelease) (s
 }
 
 // leaks reports whether some path from s's acquire to a function exit
-// misses the release.
-func leaks(pass *analysis.Pass, g *cfg.CFG, s *site) bool {
+// misses the release.  A nil hook means this analyzer's own
+// ReleasesFact lookup recognizes releaser calls.
+func leaks(pass *analysis.Pass, g *cfg.CFG, s *site, hook ReleaseHook) bool {
 	start, startIdx := findNode(g, s.call)
 	if start == nil {
 		return false // CFG elided the call (dead code)
@@ -729,7 +811,7 @@ func leaks(pass *analysis.Pass, g *cfg.CFG, s *site) bool {
 			}
 		}
 		for i := from; i < len(b.Nodes); i++ {
-			switch nodeEffect(pass, b.Nodes[i], s) {
+			switch nodeEffect(pass, b.Nodes[i], s, hook) {
 			case effectRelease, effectTransfer:
 				return false
 			}
@@ -829,7 +911,7 @@ const (
 // nodeEffect classifies CFG node n's effect on s's resource: a release
 // (direct, deferred, or via a releaser-fact call), an ownership
 // transfer (TransferOnUse specs), or nothing.
-func nodeEffect(pass *analysis.Pass, n ast.Node, s *site) effect {
+func nodeEffect(pass *analysis.Pass, n ast.Node, s *site, hook ReleaseHook) effect {
 	released := false
 	scanCalls := func(root ast.Node, includeLits bool) {
 		ast.Inspect(root, func(m ast.Node) bool {
@@ -843,7 +925,7 @@ func nodeEffect(pass *analysis.Pass, n ast.Node, s *site) effect {
 			if !ok {
 				return true
 			}
-			if callReleases(pass, call, s) {
+			if callReleases(pass, call, s, hook) {
 				released = true
 				return false
 			}
@@ -852,7 +934,7 @@ func nodeEffect(pass *analysis.Pass, n ast.Node, s *site) effect {
 	}
 	switch n := n.(type) {
 	case *ast.DeferStmt:
-		if callReleases(pass, n.Call, s) {
+		if callReleases(pass, n.Call, s, hook) {
 			return effectRelease
 		}
 		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
@@ -880,11 +962,14 @@ func nodeEffect(pass *analysis.Pass, n ast.Node, s *site) effect {
 }
 
 // callReleases reports whether call releases s's resource: a matching
-// release call on the same token, or a call to a function whose
-// ReleasesFact covers the matching argument.
-func callReleases(pass *analysis.Pass, call *ast.CallExpr, s *site) bool {
+// release call on the same token, or a releaser call recognized by the
+// hook (when set) or this analyzer's own ReleasesFact (when not).
+func callReleases(pass *analysis.Pass, call *ast.CallExpr, s *site, hook ReleaseHook) bool {
 	if tok, ok := releaseToken(pass, s.spec, call); ok && tok == s.token {
 		return true
+	}
+	if hook != nil {
+		return hook(call, s.spec, s.token)
 	}
 	fn := eosutil.CalleeAny(pass.TypesInfo, call)
 	if fn == nil {

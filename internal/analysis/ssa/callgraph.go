@@ -1,0 +1,167 @@
+package ssa
+
+// Call-graph construction: static calls resolve to their one callee;
+// interface method calls resolve by class-hierarchy analysis (CHA)
+// over every named type declared in the package and its imports — any
+// concrete type implementing the interface contributes its method as a
+// candidate callee.  Calls through func-typed values resolve to
+// nothing (the passes treat them conservatively).
+//
+// The CHA horizon is the modular-analysis horizon: under the
+// unitchecker protocol a package sees only itself and its (transitive)
+// imports, so an implementation living in a package that imports this
+// one is invisible here — but visible, with its exported summary
+// facts, when that package is analyzed.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// chaResolver caches the concrete-type universe and per-interface
+// method resolutions.
+type chaResolver struct {
+	pass  *analysis.Pass
+	types []types.Type // named (and pointer-to-named) concrete types in scope
+	cache map[*types.Func][]*types.Func
+	mscec typeutil.MethodSetCache
+}
+
+func newCHAResolver(pass *analysis.Pass) *chaResolver {
+	r := &chaResolver{pass: pass, cache: make(map[*types.Func][]*types.Func)}
+	seen := make(map[*types.Package]bool)
+	var collect func(pkg *types.Package)
+	collect = func(pkg *types.Package) {
+		if pkg == nil || seen[pkg] {
+			return
+		}
+		seen[pkg] = true
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			r.types = append(r.types, named, types.NewPointer(named))
+		}
+		for _, imp := range pkg.Imports() {
+			collect(imp)
+		}
+	}
+	collect(pass.Pkg)
+	return r
+}
+
+// resolve returns the candidate callees of call: one function for a
+// static call, the CHA candidates for an interface method call, nil
+// for an unresolvable dynamic call.
+func (r *chaResolver) resolve(call *ast.CallExpr) []*types.Func {
+	info := r.pass.TypesInfo
+	if fn := typeutil.StaticCallee(info, call); fn != nil {
+		return []*types.Func{fn}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	iface, ok := selection.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	decl, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	if out, hit := r.cache[decl]; hit {
+		return out
+	}
+	var out []*types.Func
+	for _, t := range r.types {
+		if !types.Implements(t, iface) {
+			continue
+		}
+		ms := r.mscec.MethodSet(t)
+		m := ms.Lookup(decl.Pkg(), decl.Name())
+		if m == nil {
+			continue
+		}
+		if fn, ok := m.Obj().(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	r.cache[decl] = out
+	return out
+}
+
+// condense runs Tarjan's algorithm over the intra-package call graph
+// and returns the strongly connected components in bottom-up order:
+// Tarjan emits a component only once every component reachable from it
+// has been emitted, so callees always precede callers.
+func (pr *Program) condense() [][]*Func {
+	index := make(map[*Func]int32, len(pr.Funcs))
+	low := make(map[*Func]int32, len(pr.Funcs))
+	onStack := make(map[*Func]bool, len(pr.Funcs))
+	var stack []*Func
+	var sccs [][]*Func
+	var next int32
+
+	var strongconnect func(f *Func)
+	strongconnect = func(f *Func) {
+		next++
+		index[f] = next
+		low[f] = next
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				for _, callee := range b.Instrs[i].Callees {
+					g, inPkg := pr.ByObj[callee]
+					if !inPkg {
+						continue
+					}
+					if _, visited := index[g]; !visited {
+						strongconnect(g)
+						if low[g] < low[f] {
+							low[f] = low[g]
+						}
+					} else if onStack[g] && index[g] < low[f] {
+						low[f] = index[g]
+					}
+				}
+			}
+		}
+		if low[f] == index[f] {
+			var comp []*Func
+			for {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[g] = false
+				comp = append(comp, g)
+				if g == f {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, f := range pr.Funcs {
+		if _, visited := index[f]; !visited {
+			strongconnect(f)
+		}
+	}
+	return sccs
+}

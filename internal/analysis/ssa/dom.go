@@ -1,0 +1,123 @@
+package ssa
+
+// Dominator-tree construction: the iterative algorithm of Cooper,
+// Harvey, and Kennedy ("A Simple, Fast Dominance Algorithm"), which on
+// the small CFGs of storage-engine functions beats the Lengauer-Tarjan
+// setup cost and is far simpler to verify.  Unreachable blocks (rpo ==
+// -1) stay outside the tree: they have no dominator and dominate
+// nothing.
+
+// computeDominators fills Idom and the DFS numbering behind Dominates
+// for every block reachable from the entry.
+func (f *Func) computeDominators() {
+	// Reverse postorder over reachable blocks.
+	seen := make([]bool, len(f.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	order := make([]*Block, len(post))
+	for i, b := range post {
+		order[len(post)-1-i] = b
+	}
+	for i, b := range order {
+		b.rpo = int32(i)
+	}
+	f.domOrder = order
+
+	// Predecessor lists restricted to reachable blocks.
+	preds := make([][]*Block, len(f.Blocks))
+	for _, b := range order {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+
+	// Iterate idom to a fixed point in reverse postorder.
+	f.Entry.Idom = f.Entry // sentinel self-loop during iteration
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var idom *Block
+			for _, p := range preds[b.Index] {
+				if p.Idom == nil && p != f.Entry {
+					continue // not yet processed
+				}
+				if idom == nil {
+					idom = p
+				} else {
+					idom = intersect(idom, p)
+				}
+			}
+			if idom != nil && b.Idom != idom {
+				b.Idom = idom
+				changed = true
+			}
+		}
+	}
+	f.Entry.Idom = nil // the entry has no immediate dominator
+
+	// Number the dominator tree for O(1) Dominates queries.
+	children := make([][]*Block, len(f.Blocks))
+	for _, b := range order[1:] {
+		if b.Idom != nil {
+			children[b.Idom.Index] = append(children[b.Idom.Index], b)
+		}
+	}
+	var clock int32
+	var number func(b *Block)
+	number = func(b *Block) {
+		clock++
+		b.domPre = clock
+		for _, c := range children[b.Index] {
+			number(c)
+		}
+		clock++
+		b.domPost = clock
+	}
+	number(f.Entry)
+}
+
+// intersect walks two dominator-tree paths to their common ancestor
+// using the rpo numbering (entry has the smallest rpo).
+func intersect(a, b *Block) *Block {
+	for a != b {
+		for a.rpo > b.rpo {
+			a = a.idomOrEntry()
+		}
+		for b.rpo > a.rpo {
+			b = b.idomOrEntry()
+		}
+	}
+	return a
+}
+
+// idomOrEntry follows the idom link, treating the iteration sentinel
+// (entry pointing at itself) and nil uniformly.
+func (b *Block) idomOrEntry() *Block {
+	if b.Idom == nil {
+		return b
+	}
+	return b.Idom
+}
+
+// Dominates reports whether a dominates b: every path from the entry
+// to b passes through a.  A block dominates itself.  Unreachable
+// blocks neither dominate nor are dominated.
+func (f *Func) Dominates(a, b *Block) bool {
+	if a.rpo < 0 || b.rpo < 0 {
+		return false
+	}
+	return a.domPre <= b.domPre && b.domPost <= a.domPost
+}
+
+// Reachable reports whether b is reachable from the function entry.
+func (f *Func) Reachable(b *Block) bool { return b.rpo >= 0 }

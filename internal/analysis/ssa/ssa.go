@@ -1,0 +1,387 @@
+// Package ssa builds the shared whole-program analysis facility of the
+// eoslint v3 passes: a pruned SSA-style intermediate representation of
+// every function in the package — basic blocks lifted from the
+// toolchain-vendored go/cfg, a dominator tree per function, and a
+// classified instruction stream (ranked-latch acquire/release, WAL
+// appends, large-object mutations, resolved call sites) — plus a call
+// graph that resolves static calls directly and dynamic calls through
+// class-hierarchy analysis (CHA) over the package and its imports, and
+// a strongly-connected-component condensation in bottom-up (callees
+// first) order for interprocedural summary computation.
+//
+// golang.org/x/tools/go/ssa is not part of the toolchain-vendored
+// subset of x/tools this repository builds against (vendoring pulls
+// only what go vet itself vendors), so this package implements the
+// slice of it the whole-program passes need natively: it does not
+// insert φ-nodes or rename every local, but it gives each pass the
+// same dominance, ordering, and call-resolution queries the go/ssa +
+// go/callgraph pair would.  The interprocedural passes (deadlock,
+// walfirstip, leaksip) each layer their own per-function summaries —
+// propagated across packages through go/analysis object facts — on top
+// of this IR.
+//
+// Function literals are deliberately not modeled as separate functions:
+// a closure may run on another goroutine (where the enclosing lock and
+// logging context does not apply), so instruction extraction skips
+// them, exactly as the v1/v2 intraprocedural analyzers do.  Calls
+// inside a deferred statement (including inside an immediately-deferred
+// literal) are marked Deferred: they run at function exit.
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/eosdb/eos/internal/analysis/eosutil"
+)
+
+// Analyzer builds the *Program IR for a package.  It is a prerequisite
+// (Requires) of the whole-program passes, not a checker: it reports
+// nothing itself.
+var Analyzer = &analysis.Analyzer{
+	Name:       "eosssa",
+	Doc:        "build the pruned-SSA IR and call graph shared by the whole-program passes (internal prerequisite)\n\nNot a checker: it feeds basic blocks, dominators, and the CHA call graph to deadlock, walfirstip, and leaksip.",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:        run,
+	ResultType: reflect.TypeOf((*Program)(nil)),
+}
+
+// LockRanks returns the engine's canonical latch lattice, keyed by
+// "Type.field" of the mutex field and valued by rank.  The lockorder
+// analyzer seeds its intraprocedural lattice from the same table, so
+// the two checks cannot drift.  Matching is by type and field name
+// (not import path) so analyzertest fixtures can declare stand-in
+// types.
+func LockRanks() map[string]int {
+	return map[string]int{
+		"Store.mu":         10,
+		"LockTable.mu":     15,
+		"catEntry.latch":   20,
+		"Txn.wmu":          30,
+		"deferredAlloc.mu": 30,
+		"EpochManager.mu":  33, // epoch bookkeeping; freeFn never runs under it
+		"Manager.mu":       35, // buddy superdirectory latch
+		"Pool.flushMu":     38, // whole-pool write-back; before any shard.mu
+		"shard.mu":         40,
+		"Log.forceMu":      45, // group-commit leader force; before Log.mu
+		"Log.mu":           50,
+		"Volume.mu":        60,
+		"Volume.accMu":     70,
+	}
+}
+
+// Mutators lists the lob.Object methods that change object state —
+// the mutation events of the §4.5 write-ahead rule.  Shared with the
+// intraprocedural walfirst analyzer.
+var Mutators = []string{
+	"Append", "AppendWithHint", "Insert", "Delete", "Replace",
+	"Destroy", "Truncate", "Compact",
+}
+
+// Program is the package-level IR: one Func per function declaration
+// with a body, plus the call graph over them.
+type Program struct {
+	Pass  *analysis.Pass
+	Funcs []*Func
+	// ByObj maps the defining *types.Func to its IR.
+	ByObj map[*types.Func]*Func
+	// SCCs is the call-graph condensation in bottom-up order: every
+	// function a component calls (within the package) is in the same or
+	// an earlier component, so interprocedural summaries computed in
+	// SCC order see their intra-package callees' summaries first.
+	SCCs [][]*Func
+
+	ranks map[string]int
+	cha   *chaResolver
+}
+
+// Func is the IR of one function declaration.
+type Func struct {
+	Obj    *types.Func
+	Decl   *ast.FuncDecl
+	Blocks []*Block // parallel to the go/cfg block list
+	Entry  *Block
+
+	domOrder []*Block // reachable blocks in reverse postorder
+}
+
+// Block is one basic block: the go/cfg block it mirrors plus the
+// classified instruction stream and dominator-tree position.
+type Block struct {
+	Index  int32
+	Raw    *cfg.Block
+	Instrs []Instr
+	Succs  []*Block
+	Idom   *Block // immediate dominator; nil for entry and unreachable blocks
+
+	domPre, domPost int32 // dominator-tree DFS interval for Dominates
+	rpo             int32 // reverse-postorder index; -1 if unreachable
+}
+
+// Kind classifies one instruction.
+type Kind uint8
+
+const (
+	// KCall is a function or method call that is none of the more
+	// specific kinds below.  Callees holds the resolution (empty when
+	// the callee is dynamic and CHA found no candidate).
+	KCall Kind = iota
+	// KLock acquires a ranked engine latch (Lock or RLock on a field in
+	// the LockRanks lattice).
+	KLock
+	// KUnlock releases a ranked engine latch.
+	KUnlock
+	// KWALAppend appends a write-ahead log record ((*wal.Log).Append).
+	KWALAppend
+	// KMutate calls a lob.Object mutator — a §4.5 mutation event.
+	KMutate
+)
+
+// Instr is one classified instruction, in source order within its
+// block.
+type Instr struct {
+	Kind Kind
+	Call *ast.CallExpr
+	// Deferred marks calls that run at function exit (defer f(),
+	// or any call inside an immediately-deferred function literal).
+	Deferred bool
+
+	// Callees is the call-graph resolution: exactly one function for a
+	// static call, every CHA candidate for an interface call, empty for
+	// an unresolvable dynamic call.  Filled for every instruction kind
+	// (a mutator call is also an edge to the mutator's body).
+	Callees []*types.Func
+
+	// KLock/KUnlock: the lattice key ("shard.mu" owner type + field),
+	// its rank, whether the acquisition is shared (RLock/RUnlock), and
+	// the receiver expression text ("sh.mu") identifying the instance.
+	LockKey   string
+	LockRank  int
+	Shared    bool
+	LockToken string
+
+	// KMutate: the "Object.Method" label for diagnostics.
+	MutName string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	pr := &Program{
+		Pass:  pass,
+		ByObj: make(map[*types.Func]*Func),
+		ranks: LockRanks(),
+		cha:   newCHAResolver(pass),
+	}
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		g := cfgs.FuncDecl(decl)
+		if g == nil {
+			return
+		}
+		f := pr.buildFunc(obj, decl, g)
+		pr.Funcs = append(pr.Funcs, f)
+		pr.ByObj[obj] = f
+	})
+
+	pr.SCCs = pr.condense()
+	return pr, nil
+}
+
+// buildFunc lifts one function: blocks, instructions, dominators.
+func (pr *Program) buildFunc(obj *types.Func, decl *ast.FuncDecl, g *cfg.CFG) *Func {
+	f := &Func{Obj: obj, Decl: decl}
+	f.Blocks = make([]*Block, len(g.Blocks))
+	for i, rb := range g.Blocks {
+		f.Blocks[i] = &Block{Index: int32(i), Raw: rb, rpo: -1}
+	}
+	for i, rb := range g.Blocks {
+		b := f.Blocks[i]
+		for _, s := range rb.Succs {
+			b.Succs = append(b.Succs, f.Blocks[s.Index])
+		}
+		for _, n := range rb.Nodes {
+			pr.scanNode(n, false, &b.Instrs)
+		}
+	}
+	if len(f.Blocks) > 0 {
+		f.Entry = f.Blocks[0]
+		f.computeDominators()
+	}
+	return f
+}
+
+// scanNode extracts instructions from one CFG node in source order.
+// Function literals are skipped (they run later, possibly elsewhere)
+// except an immediately-deferred literal, whose body runs at exit and
+// is scanned with deferred set.
+func (pr *Program) scanNode(n ast.Node, deferred bool, out *[]Instr) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// Arguments of the deferred call evaluate now; the call
+			// itself (or the literal body) runs at exit.
+			for _, arg := range m.Call.Args {
+				pr.scanNode(arg, deferred, out)
+			}
+			if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+				pr.scanNode(lit.Body, true, out)
+			} else {
+				pr.classify(m.Call, true, out)
+			}
+			return false
+		case *ast.CallExpr:
+			// Arguments are scanned by the enclosing Inspect walk; only
+			// classify the call itself here.
+			pr.classify(m, deferred, out)
+		}
+		return true
+	})
+}
+
+// classify appends the instruction for one call expression.
+func (pr *Program) classify(call *ast.CallExpr, deferred bool, out *[]Instr) {
+	in := Instr{Kind: KCall, Call: call, Deferred: deferred}
+	in.Callees = pr.cha.resolve(call)
+
+	if key, method, token, ok := pr.lockEvent(call); ok {
+		in.LockKey, in.LockRank, in.LockToken = key, pr.ranks[key], token
+		switch method {
+		case "Lock", "RLock":
+			in.Kind = KLock
+		default:
+			in.Kind = KUnlock
+		}
+		in.Shared = method == "RLock" || method == "RUnlock"
+		*out = append(*out, in)
+		return
+	}
+	info := pr.Pass.TypesInfo
+	if _, ok := eosutil.IsMethodCall(info, call, "wal", "Log", "Append"); ok {
+		in.Kind = KWALAppend
+		*out = append(*out, in)
+		return
+	}
+	if m, ok := eosutil.IsMethodCallAny(info, call, "lob", "Object", Mutators...); ok {
+		in.Kind = KMutate
+		in.MutName = "Object." + m
+		*out = append(*out, in)
+		return
+	}
+	*out = append(*out, in)
+}
+
+// lockEvent classifies call as Lock/RLock/Unlock/RUnlock on a ranked
+// mutex field (owner.field.Lock()), returning the lattice key, the
+// method, and the receiver expression text.
+func (pr *Program) lockEvent(call *ast.CallExpr) (key, method, token string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	fieldSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	selection, found := pr.Pass.TypesInfo.Selections[fieldSel]
+	if !found {
+		return "", "", "", false
+	}
+	field, isVar := selection.Obj().(*types.Var)
+	if !isVar || !field.IsField() {
+		return "", "", "", false
+	}
+	owner := ownerTypeName(selection.Recv())
+	if owner == "" {
+		return "", "", "", false
+	}
+	key = owner + "." + field.Name()
+	if _, ranked := pr.ranks[key]; !ranked {
+		return "", "", "", false
+	}
+	return key, method, types.ExprString(fieldSel), true
+}
+
+// ownerTypeName returns the name of the named type t denotes
+// (unwrapping one pointer), or "".
+func ownerTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// FuncLabel renders fn for call-chain diagnostics: "(*Txn).Append" for
+// methods, "pkg.Restore" for package functions in other packages, a
+// bare name within the same package.
+func FuncLabel(from *types.Package, fn *types.Func) string {
+	var b strings.Builder
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			b.WriteString("(*")
+			b.WriteString(ownerTypeName(p.Elem()))
+			b.WriteString(")")
+		} else {
+			b.WriteString(ownerTypeName(t))
+		}
+		b.WriteString(".")
+		b.WriteString(fn.Name())
+		return b.String()
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		b.WriteString(fn.Pkg().Name())
+		b.WriteString(".")
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// RankName labels the lattice levels for diagnostics, mirroring the
+// lockorder analyzer's vocabulary.
+func RankName(r int) string {
+	switch {
+	case r < 15:
+		return "manager"
+	case r < 20:
+		return "lock-table"
+	case r < 30:
+		return "object"
+	case r < 40:
+		return "txn"
+	case r < 50:
+		return "pool-shard"
+	case r < 60:
+		return "wal"
+	default:
+		return "disk"
+	}
+}

@@ -1,0 +1,124 @@
+package ssa_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/ssa"
+)
+
+// TestProgramIR builds the IR for the eosssa fixture and asserts the
+// structural properties the whole-program passes rely on: dominator
+// relations across a diamond, instruction classification, call
+// resolution (static and CHA), and bottom-up SCC order.
+func TestProgramIR(t *testing.T) {
+	probe := &analysis.Analyzer{
+		Name:     "ssaprobe",
+		Doc:      "assert over the ssa Program built for the fixture",
+		Requires: []*analysis.Analyzer{ssa.Analyzer},
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			pr := pass.ResultOf[ssa.Analyzer].(*ssa.Program)
+			byName := make(map[string]*ssa.Func)
+			for _, f := range pr.Funcs {
+				byName[f.Obj.Name()] = f
+			}
+			for _, name := range []string{"leaf", "mid", "top", "pingA", "pingB", "callAlloc"} {
+				if byName[name] == nil {
+					t.Fatalf("Program is missing func %s", name)
+				}
+			}
+
+			top := byName["top"]
+			var lockB, unlockB, appendB, mutateB, midCallB, leafCallB *ssa.Block
+			for _, b := range top.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Kind {
+					case ssa.KLock:
+						lockB = b
+						if in.LockKey != "Log.mu" {
+							t.Errorf("lock key = %q, want Log.mu", in.LockKey)
+						}
+					case ssa.KUnlock:
+						unlockB = b
+					case ssa.KWALAppend:
+						appendB = b
+					case ssa.KMutate:
+						mutateB = b
+						if in.MutName != "Object.Append" {
+							t.Errorf("mutator = %q, want Object.Append", in.MutName)
+						}
+					case ssa.KCall:
+						for _, callee := range in.Callees {
+							switch callee.Name() {
+							case "mid":
+								midCallB = b
+							case "leaf":
+								leafCallB = b
+							}
+						}
+					}
+				}
+			}
+			if lockB == nil || unlockB == nil || appendB == nil || mutateB == nil {
+				t.Fatalf("top is missing classified instructions: lock=%v unlock=%v append=%v mutate=%v",
+					lockB != nil, unlockB != nil, appendB != nil, mutateB != nil)
+			}
+			if midCallB == nil || leafCallB == nil {
+				t.Fatalf("top is missing resolved branch calls")
+			}
+			if lockB != top.Entry {
+				t.Errorf("lock is not in the entry block")
+			}
+			for _, b := range []*ssa.Block{unlockB, appendB, mutateB, midCallB, leafCallB} {
+				if !top.Dominates(top.Entry, b) {
+					t.Errorf("entry does not dominate block %d", b.Index)
+				}
+			}
+			if top.Dominates(midCallB, appendB) {
+				t.Errorf("branch block (mid call) must not dominate the join (append)")
+			}
+			if top.Dominates(leafCallB, appendB) {
+				t.Errorf("branch block (leaf call) must not dominate the join (append)")
+			}
+			if !top.Dominates(appendB, mutateB) && appendB != mutateB {
+				t.Errorf("append must dominate the mutation")
+			}
+
+			// SCC condensation: callees first, mutual recursion together.
+			sccIndex := make(map[string]int)
+			for i, scc := range pr.SCCs {
+				for _, f := range scc {
+					sccIndex[f.Obj.Name()] = i
+				}
+			}
+			if !(sccIndex["leaf"] < sccIndex["mid"] && sccIndex["mid"] < sccIndex["top"]) {
+				t.Errorf("SCC order is not bottom-up: leaf=%d mid=%d top=%d",
+					sccIndex["leaf"], sccIndex["mid"], sccIndex["top"])
+			}
+			if sccIndex["pingA"] != sccIndex["pingB"] {
+				t.Errorf("mutually recursive pingA/pingB are in different SCCs")
+			}
+
+			// CHA: the interface call resolves to the fixture's concrete
+			// implementation.
+			found := false
+			for _, b := range byName["callAlloc"].Blocks {
+				for i := range b.Instrs {
+					for _, callee := range b.Instrs[i].Callees {
+						if callee.Name() == "Alloc" {
+							found = true
+						}
+					}
+				}
+			}
+			if !found {
+				t.Errorf("CHA did not resolve the lob.Allocator.Alloc call to fakeAlloc.Alloc")
+			}
+			return nil, nil
+		},
+	}
+	analyzertest.Run(t, "../testdata", probe, "eosssa")
+}

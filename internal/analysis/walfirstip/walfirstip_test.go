@@ -1,0 +1,12 @@
+package walfirstip_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/walfirstip"
+)
+
+func TestWalfirstIP(t *testing.T) {
+	analyzertest.Run(t, "../testdata", walfirstip.Analyzer, "walfirstip_bad", "walfirstip_clean")
+}

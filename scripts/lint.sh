@@ -3,6 +3,8 @@
 #
 #   scripts/lint.sh            run every available linter
 #   scripts/lint.sh eoslint    run only the eoslint suite
+#   scripts/lint.sh --ssa      run only the whole-program passes
+#                              (deadlock, walfirstip, leaksip)
 #
 # eoslint (the repo's own go/analysis suite) always runs.  The external
 # tools — golangci-lint and govulncheck — run when installed and are
@@ -17,6 +19,12 @@ failed=0
 step() {
     echo "==> $1"
 }
+
+if [ "$only" = "--ssa" ] || [ "$only" = "ssa" ]; then
+    step "eoslint -ssa (interprocedural deadlock/WAL-dominance/leak passes)"
+    go run ./cmd/eoslint -ssa ./...
+    exit $?
+fi
 
 step "eoslint (pin/latch/atomic/WAL/error invariants)"
 if ! go run ./cmd/eoslint ./...; then

@@ -2,6 +2,7 @@ package eos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -551,6 +552,160 @@ func TestSnapshotOpenBlocksClose(t *testing.T) {
 		t.Fatalf("second Close not idempotent: %v", err)
 	}
 	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRefresh checks the re-capture contract: a Refresh swaps
+// the view to the newest committed version without a window in which
+// neither epoch pin protects the pages, clamps the cursor to the new
+// size, and leaves the old view intact when the object has vanished.
+func TestSnapshotRefresh(t *testing.T) {
+	s := snapStore(t, Options{Threshold: 4})
+	o, err := s.Create("refresh", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := pat(1, 30000)
+	if err := o.Append(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	sn, err := s.OpenSnapshot("refresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	seq1 := sn.Seq()
+
+	// Structural churn: the snapshot must not move until Refresh.
+	v2 := append(append([]byte{}, v1...), pat(2, 20000)...)
+	if err := o.Append(v2[len(v1):]); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Size() != int64(len(v1)) {
+		t.Fatalf("size moved to %d before Refresh", sn.Size())
+	}
+	if err := sn.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Seq() == seq1 {
+		t.Fatal("Refresh did not advance the captured version")
+	}
+	if sn.Size() != int64(len(v2)) {
+		t.Fatalf("refreshed size %d, want %d", sn.Size(), len(v2))
+	}
+	got := make([]byte, len(v2))
+	if _, err := sn.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatal("refreshed content diverged from committed state")
+	}
+
+	// Cursor clamping: park the cursor at the old end, shrink the
+	// object, Refresh — the next Read must see EOF at the new size,
+	// not an out-of-bounds position.
+	if _, err := sn.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	const shrunk = 1000
+	if err := o.Truncate(shrunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := sn.Seek(0, io.SeekCurrent); err != nil || pos != shrunk {
+		t.Fatalf("cursor = %d, %v; want clamped to %d", pos, err, shrunk)
+	}
+	if n, err := sn.Read(make([]byte, 10)); n != 0 || err != io.EOF {
+		t.Fatalf("Read at clamped end = %d, %v; want 0, EOF", n, err)
+	}
+
+	// Refresh after Destroy fails with ErrNotFound and must keep the
+	// old pin: the pre-destroy view stays readable.
+	if err := s.Destroy("refresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.Refresh(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Refresh after Destroy = %v, want ErrNotFound", err)
+	}
+	got = make([]byte, shrunk)
+	if _, err := sn.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("old view unreadable after failed Refresh: %v", err)
+	}
+	if !bytes.Equal(got, v2[:shrunk]) {
+		t.Fatal("old view content diverged after failed Refresh")
+	}
+
+	if err := sn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.Refresh(); err == nil {
+		t.Fatal("Refresh succeeded on a closed snapshot")
+	}
+}
+
+// TestSnapshotUseAfterStoreClose pins down the snapshot lifecycle
+// around Store.Close: an open snapshot blocks Close, a closed
+// snapshot's accessors all fail cleanly (no panic, no stale reads)
+// once the store has shut down, and because Close is a
+// checkpoint-and-quiesce rather than a teardown, a snapshot opened
+// after it still serves the committed state.
+func TestSnapshotUseAfterStoreClose(t *testing.T) {
+	s := snapStore(t, Options{Threshold: 4})
+	o, err := s.Create("x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pat(7, 5000)
+	if err := o.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := s.OpenSnapshot("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Store.Close succeeded with an open snapshot")
+	}
+	if err := sn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every accessor of the closed snapshot fails without touching the
+	// (now quiesced) store.
+	if _, err := sn.ReadAt(make([]byte, 8), 0); err == nil {
+		t.Fatal("ReadAt succeeded on a closed snapshot")
+	}
+	if _, err := sn.Read(make([]byte, 8)); err == nil {
+		t.Fatal("Read succeeded on a closed snapshot")
+	}
+	if _, err := sn.WriteTo(io.Discard); err == nil {
+		t.Fatal("WriteTo succeeded on a closed snapshot")
+	}
+	if err := sn.Refresh(); err == nil {
+		t.Fatal("Refresh succeeded on a closed snapshot")
+	}
+
+	// Close checkpoints and quiesces but does not tear down the
+	// in-memory store: read-only snapshot access remains valid.
+	sn2, err := s.OpenSnapshot("x")
+	if err != nil {
+		t.Fatalf("OpenSnapshot after Store.Close: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := sn2.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-Close snapshot content diverged")
+	}
+	if err := sn2.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -302,15 +303,48 @@ func TestConcurrentReadersOneWriterPerObject(t *testing.T) {
 	}
 
 	var (
-		writers sync.WaitGroup
-		readers sync.WaitGroup
-		stop    atomic.Bool
-		fail    atomic.Value // first error string
+		writers  sync.WaitGroup
+		readers  sync.WaitGroup
+		stop     atomic.Bool
+		fail     atomic.Value  // first error string
+		progress atomic.Uint64 // writer/checkpointer heartbeat
 	)
 	report := func(format string, args ...any) {
 		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
 		stop.Store(true)
 	}
+
+	// Deadlock watchdog: every writer iteration and checkpoint bumps
+	// the heartbeat; once writers are done the counter goes quiet, so
+	// a wedged reader during drain also trips it.  A flat heartbeat
+	// for 30s means the run is deadlocked — the failure mode the
+	// lockorder/deadlock analyzers exist to prevent — so fail fast
+	// with a full goroutine dump instead of hanging until the go test
+	// timeout obscures who holds what.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		var last uint64
+		stale := 0
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-ticker.C:
+			}
+			if cur := progress.Load(); cur != last {
+				last, stale = cur, 0
+				continue
+			}
+			if stale++; stale >= 30 {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				panic(fmt.Sprintf("soak watchdog: no worker progress for %ds, likely deadlock; goroutine dump:\n\n%s", stale, buf[:n]))
+			}
+		}
+	}()
 
 	// One writer per object.
 	for i, o := range objs {
@@ -319,6 +353,7 @@ func TestConcurrentReadersOneWriterPerObject(t *testing.T) {
 			defer writers.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + i)))
 			for it := 0; it < duration && !stop.Load(); it++ {
+				progress.Add(1)
 				size := o.Size()
 				switch op := rng.Intn(10); {
 				case op < 4 && size < maxSize: // append
@@ -478,6 +513,7 @@ func TestConcurrentReadersOneWriterPerObject(t *testing.T) {
 	go func() {
 		defer readers.Done()
 		for !stop.Load() {
+			progress.Add(1)
 			if err := s.Checkpoint(); err != nil {
 				report("checkpoint: %v", err)
 				return
