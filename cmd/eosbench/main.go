@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	eosbench                # run every experiment
-//	eosbench -exp e5,e6     # run selected experiments
-//	eosbench -list          # list experiment IDs
+//	eosbench                 # run every experiment
+//	eosbench -exp e5,e6      # run selected experiments
+//	eosbench -list           # list experiment IDs
+//	eosbench -backend file   # run on real temp-dir page files
+//
+// The default backend is the cost-modelled simulator, whose time column
+// is deterministic modelled microseconds.  With -backend file the same
+// experiments run against real file-backed volumes (pread/pwrite/
+// fdatasync), and the time column becomes measured wall clock.
 package main
 
 import (
@@ -23,7 +29,20 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e15) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	backend := flag.String("backend", "sim", "volume backend: sim (modelled costs) or file (real temp-dir page files)")
+	dir := flag.String("dir", "", "file backend: directory for volume files (default: system temp dir)")
 	flag.Parse()
+
+	switch *backend {
+	case "sim":
+	case "file":
+		bench.UseFileBackend = true
+		bench.FileBackendDir = *dir
+		defer bench.CleanupFileVolumes()
+	default:
+		fmt.Fprintf(os.Stderr, "eosbench: unknown backend %q (want sim or file)\n", *backend)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -66,6 +85,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
+		bench.CleanupFileVolumes() // os.Exit skips the deferred sweep
 		os.Exit(1)
 	}
 }

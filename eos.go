@@ -29,6 +29,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -124,9 +126,45 @@ type Options struct {
 	// versions published since its pin, so long scans survive multiple
 	// overwrites without ever taking a lock.
 	SnapshotHistory int
+	// Backend selects the volume implementation CreateAt/OpenAt build:
+	// BackendSim (the default) is the in-memory simulator with modelled
+	// costs; BackendFile keeps pages in real files under the store
+	// directory, with pread/pwrite transfers and fdatasync durability.
+	// Format/Open ignore it — they take the volumes you built.
+	Backend Backend
+	// PageSize, DataPages and LogPages set the geometry CreateAt
+	// formats (defaults 512 bytes, 4096 data pages, 1024 log pages).
+	// OpenAt reads the geometry from the existing volumes instead.
+	PageSize  int
+	DataPages disk.PageNum
+	LogPages  disk.PageNum
+	// DirectIO opens file-backed volumes with O_DIRECT (Linux only;
+	// page size must be a multiple of 512), bypassing the OS page
+	// cache so benchmarks measure the device rather than RAM.
+	DirectIO bool
+	// CrashShadow enables the file backend's crash simulation: pre-
+	// images of unforced pages are tracked so Device.Crash reverts
+	// them.  Costs one extra read per first write after a force; meant
+	// for recovery tests, not production or benchmarks.
+	CrashShadow bool
+	// IODepth > 0 routes buffer-pool write-back through the async I/O
+	// dispatcher with that many workers and queue slots, overlapping a
+	// checkpoint's coalesced runs in flight instead of issuing them one
+	// blocking call at a time.  0 keeps write-back synchronous.
+	IODepth int
 }
 
-func (o Options) withDefaults(vol *disk.Volume) (Options, error) {
+// Backend names a volume implementation for CreateAt/OpenAt.
+type Backend string
+
+const (
+	// BackendSim is the cost-modelled in-memory simulator (default).
+	BackendSim Backend = "sim"
+	// BackendFile is the real-I/O file backend (disk.FileVolume).
+	BackendFile Backend = "file"
+)
+
+func (o Options) withDefaults(vol disk.Device) (Options, error) {
 	if o.PoolFrames == 0 {
 		o.PoolFrames = 256
 	}
@@ -190,9 +228,13 @@ type catEntry struct {
 // Store is an EOS storage system instance over a data volume and a log
 // volume.
 type Store struct {
-	vol    *disk.Volume
-	logVol *disk.Volume
-	pool   *buffer.Pool
+	vol    disk.Device
+	logVol disk.Device
+	disp   *disk.Dispatcher // async write-back dispatcher; nil when IODepth == 0
+	// ownsVols marks volumes built by CreateAt/OpenAt, which Close
+	// releases; volumes handed to Format/Open stay the caller's.
+	ownsVols bool
+	pool     *buffer.Pool
 	buddy  *buddy.Manager
 	lm     *lob.Manager
 	log    *wal.Log
@@ -208,8 +250,10 @@ type Store struct {
 	liveTxns map[uint64]*Txn
 }
 
-// Format initializes a fresh store on vol, logging to logVol.
-func Format(vol, logVol *disk.Volume, opts Options) (*Store, error) {
+// Format initializes a fresh store on vol, logging to logVol.  Either
+// volume may be a simulator Volume or a file-backed FileVolume; the
+// store never looks behind the Device interface.
+func Format(vol, logVol disk.Device, opts Options) (*Store, error) {
 	opts, err := opts.withDefaults(vol)
 	if err != nil {
 		return nil, err
@@ -245,6 +289,7 @@ func Format(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 	// grows at retire-rate × scan-duration; unbounded, it can transiently
 	// exhaust a small volume that is almost entirely free space.
 	s.epochs.SetBudget(int64(vol.NumPages()) / 4)
+	s.attachDispatcher()
 	s.lm, err = lob.NewManager(vol, pool, &epochAlloc{s: s}, s.lobConfig())
 	if err != nil {
 		return nil, err
@@ -386,7 +431,7 @@ func (s *Store) releaseRuns(runs []txn.Run) error {
 func (s *Store) PageSize() int { return s.vol.PageSize() }
 
 // Volume returns the data volume (for I/O statistics).
-func (s *Store) Volume() *disk.Volume { return s.vol }
+func (s *Store) Volume() disk.Device { return s.vol }
 
 // BuddyManager exposes the space manager (for statistics and fsck).
 func (s *Store) BuddyManager() *buddy.Manager { return s.buddy }
@@ -415,7 +460,7 @@ func (s *Store) writeHeader() error {
 // (guarded by the LSN each object root carries, §4.5), the free space
 // map is rebuilt from the pages reachable from the catalog, and a fresh
 // checkpoint is taken.
-func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
+func Open(vol, logVol disk.Device, opts Options) (*Store, error) {
 	opts, err := opts.withDefaults(vol)
 	if err != nil {
 		return nil, err
@@ -474,6 +519,7 @@ func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 	// grows at retire-rate × scan-duration; unbounded, it can transiently
 	// exhaust a small volume that is almost entirely free space.
 	s.epochs.SetBudget(int64(vol.NumPages()) / 4)
+	s.attachDispatcher()
 	s.lm, err = lob.NewManager(vol, pool, &epochAlloc{s: s}, s.lobConfig())
 	if err != nil {
 		return nil, err
@@ -497,8 +543,19 @@ func Open(vol, logVol *disk.Volume, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// Close checkpoints the store and rejects further transactions.  The
-// volumes can then be saved or discarded.
+// attachDispatcher wires the async write-back dispatcher when IODepth
+// asks for one; the store owns its lifetime.
+func (s *Store) attachDispatcher() {
+	if s.opts.IODepth > 0 {
+		s.disp = disk.NewDispatcher(s.vol, s.opts.IODepth, s.opts.IODepth)
+		s.pool.SetDispatcher(s.disp)
+	}
+}
+
+// Close checkpoints the store, rejects further transactions, and shuts
+// down the async dispatcher.  Volumes built by CreateAt/OpenAt are
+// closed; volumes handed to Format/Open remain the caller's to save or
+// discard.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if len(s.liveTxns) > 0 {
@@ -509,7 +566,123 @@ func (s *Store) Close() error {
 	if n := s.epochs.Pinned(); n > 0 {
 		return fmt.Errorf("eos: %d snapshots still open", n)
 	}
-	return s.Checkpoint()
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	if s.disp != nil {
+		s.pool.SetDispatcher(nil) // later flushes fall back to synchronous
+		s.disp.Close()
+		s.disp = nil
+	}
+	if s.ownsVols {
+		if err := s.vol.Close(); err != nil {
+			return err
+		}
+		return s.logVol.Close()
+	}
+	return nil
+}
+
+// Default geometry for CreateAt.
+const (
+	defaultPageSize  = 512
+	defaultDataPages = disk.PageNum(4096)
+	defaultLogPages  = disk.PageNum(1024)
+)
+
+// dataFileName and logFileName are the volume files CreateAt and
+// OpenAt use under the store directory.
+const (
+	dataFileName = "data.eos"
+	logFileName  = "log.eos"
+)
+
+func (o Options) geometry() (int, disk.PageNum, disk.PageNum) {
+	ps, dp, lp := o.PageSize, o.DataPages, o.LogPages
+	if ps == 0 {
+		ps = defaultPageSize
+	}
+	if dp == 0 {
+		dp = defaultDataPages
+	}
+	if lp == 0 {
+		lp = defaultLogPages
+	}
+	return ps, dp, lp
+}
+
+func (o Options) fileOptions() disk.FileOptions {
+	return disk.FileOptions{Direct: o.DirectIO, CrashShadow: o.CrashShadow}
+}
+
+// CreateAt formats a fresh store under dir using the backend named in
+// opts.Backend: BackendFile lays out real page files (data.eos,
+// log.eos) in dir, BackendSim builds in-memory simulator volumes (dir
+// is then only created, not written).  The store owns the volumes —
+// Close releases them.
+func CreateAt(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ps, dp, lp := opts.geometry()
+	var vol, logVol disk.Device
+	switch opts.Backend {
+	case BackendSim, "":
+		var err error
+		if vol, err = disk.NewVolume(ps, dp, disk.DefaultCostModel()); err != nil {
+			return nil, err
+		}
+		if logVol, err = disk.NewVolume(ps, lp, disk.DefaultCostModel()); err != nil {
+			return nil, err
+		}
+	case BackendFile:
+		var err error
+		if vol, err = disk.CreateFileVolume(filepath.Join(dir, dataFileName), ps, dp, opts.fileOptions()); err != nil {
+			return nil, err
+		}
+		if logVol, err = disk.CreateFileVolume(filepath.Join(dir, logFileName), ps, lp, opts.fileOptions()); err != nil {
+			_ = vol.Close()
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("eos: unknown backend %q", opts.Backend)
+	}
+	s, err := Format(vol, logVol, opts)
+	if err != nil {
+		_ = vol.Close()
+		_ = logVol.Close()
+		return nil, err
+	}
+	s.ownsVols = true
+	return s, nil
+}
+
+// OpenAt opens (with crash recovery) a file-backed store previously
+// created by CreateAt with BackendFile; the geometry comes from the
+// volume headers.  Simulator volumes live in memory and cannot be
+// reopened from a directory — keep the *disk.Volume and use Open, or
+// migrate an image with the eosctl tool.
+func OpenAt(dir string, opts Options) (*Store, error) {
+	if opts.Backend != BackendFile {
+		return nil, fmt.Errorf("eos: OpenAt requires Backend: BackendFile (got %q)", opts.Backend)
+	}
+	vol, err := disk.OpenFileVolume(filepath.Join(dir, dataFileName), opts.fileOptions())
+	if err != nil {
+		return nil, err
+	}
+	logVol, err := disk.OpenFileVolume(filepath.Join(dir, logFileName), opts.fileOptions())
+	if err != nil {
+		_ = vol.Close()
+		return nil, err
+	}
+	s, err := Open(vol, logVol, opts)
+	if err != nil {
+		_ = vol.Close()
+		_ = logVol.Close()
+		return nil, err
+	}
+	s.ownsVols = true
+	return s, nil
 }
 
 // Checkpoint makes the current state durable: descriptors are written to
@@ -569,7 +742,9 @@ func (s *Store) checkpointLocked() error {
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
-	s.vol.ForceAll()
+	if err := s.vol.ForceAll(); err != nil {
+		return err
+	}
 	if resetLog {
 		if err := s.log.Reset(); err != nil {
 			return err

@@ -80,8 +80,12 @@ func main() {
 
 	// Power failure!  Everything volatile is lost; the write-ahead log
 	// replays the committed fast commits.
-	vol.Crash()
-	logVol.Crash()
+	if err := vol.Crash(); err != nil {
+		log.Fatal(err)
+	}
+	if err := logVol.Crash(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("-- simulated power failure --")
 
 	store2, err := eos.Open(vol, logVol, eos.Options{})

@@ -137,10 +137,13 @@ var singletonKeys = map[string]bool{
 	"EpochManager.mu": true,
 	"Manager.mu":      true,
 	"Pool.flushMu":    true,
-	"Log.forceMu":     true,
-	"Log.mu":          true,
-	"Volume.mu":       true,
-	"Volume.accMu":    true,
+	"Log.forceMu":      true,
+	"Log.mu":           true,
+	"Dispatcher.mu":    true,
+	"Volume.mu":        true,
+	"FileVolume.mu":    true,
+	"Volume.accMu":     true,
+	"FileVolume.accMu": true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

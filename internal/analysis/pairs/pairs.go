@@ -7,18 +7,23 @@
 // The default table covers the five disciplines the storage engine
 // depends on:
 //
-//	pin    buffer.Pool.Fix/FixNew        → Unpin/Discard   (all paths)
-//	latch  ranked mutex Lock/RLock       → Unlock/RUnlock  (all paths)
-//	txn    eos.Store.Begin               → Commit/CommitNoForce/Abort
-//	epoch  txn.EpochManager.Enter        → EpochGuard.Exit (all paths)
-//	alloc  buddy Alloc/AllocUpTo         → Free            (error paths)
+//	pin      buffer.Pool.Fix/FixNew        → Unpin/Discard   (all paths)
+//	latch    ranked mutex Lock/RLock       → Unlock/RUnlock  (all paths)
+//	txn      eos.Store.Begin               → Commit/CommitNoForce/Abort
+//	epoch    txn.EpochManager.Enter        → EpochGuard.Exit (all paths)
+//	alloc    buddy Alloc/AllocUpTo         → Free            (error paths)
+//	iosubmit disk.Batch.Submit             → Batch.Wait      (all paths)
+//	filevol  disk.Create/OpenFileVolume    → Close           (error paths)
 //
 // A leaked pin makes a frame permanently unevictable; a leaked latch
 // deadlocks the next acquirer; an unfinished transaction holds its
 // two-phase locks forever; a leaked epoch guard pins its epoch and
 // blocks page reclamation for the life of the process; and pages
 // allocated on a failed operation path leak from the buddy space
-// unless freed before the error return.  The epoch spec stops
+// unless freed before the error return.  A submitted I/O request whose
+// completion is never harvested leaves its buffers owned by the
+// dispatcher, and a file volume opened on a failed setup path leaks
+// its descriptor and keeps the page file pinned.  The epoch spec stops
 // tracking a guard at its first other use (stored into a snapshot
 // structure, handed to a callee) — ownership transferred, and the new
 // owner's Close path carries the Exit.  The alloc spec checks only error-returning exits — on
@@ -52,6 +57,7 @@ package pairs
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -101,7 +107,9 @@ const (
 )
 
 // matcher selects method calls by package name, receiver type name
-// (struct or interface), and method names.
+// (struct or interface), and method names.  A matcher with an empty
+// typ instead selects package-level functions of pkg named in methods
+// (the acquire side of constructor→Close disciplines).
 type matcher struct {
 	pkg, typ string
 	methods  []string
@@ -210,6 +218,28 @@ func defaultSpecs() []*Spec {
 			ErrorPathsOnly: true,
 			TransferOnUse:  true,
 			Hint:           "free the pages (or hand them off) before returning the error",
+		},
+		{
+			Name:       "iosubmit",
+			Acquire:    []matcher{{"disk", "Batch", []string{"Submit"}}},
+			Release:    []matcher{{"disk", "Batch", []string{"Wait"}}},
+			AcquireKey: KeyRecv,
+			ReleaseKey: KeyRecv,
+			ErrGuarded: true,
+			Hint:       "Wait on the batch on every path after a successful Submit; unharvested completions leave request buffers in use",
+		},
+		{
+			Name: "filevol",
+			Acquire: []matcher{
+				{"disk", "", []string{"CreateFileVolume", "OpenFileVolume"}},
+			},
+			Release:        []matcher{{"disk", "FileVolume", []string{"Close"}}},
+			AcquireKey:     KeyResult0,
+			ReleaseKey:     KeyRecv,
+			ErrGuarded:     true,
+			ErrorPathsOnly: true,
+			TransferOnUse:  true,
+			Hint:           "close the volume (or hand it off) before returning the error; a leaked descriptor pins the page file",
 		},
 	}
 }
@@ -370,6 +400,11 @@ type site struct {
 	token    string       // expression string identifying the resource
 	tokenObj types.Object // variable object for KeyResult0 tokens
 	errVar   types.Object // error variable guarding the acquire
+	// guardIf is the `if errVar != nil` statement that actually guards
+	// this acquire: the first test of errVar after the call and before
+	// errVar is overwritten.  Later tests of a reused err variable
+	// belong to other calls and exempt nothing.
+	guardIf *ast.IfStmt
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -559,12 +594,18 @@ func releasedParams(pass *analysis.Pass, byName map[string]*Spec, specs []*Spec,
 func checkFunc(pass *analysis.Pass, ig *ignore.Reporter, byName map[string]*Spec, specs []*Spec, body *ast.BlockStmt, g *cfg.CFG) {
 	sites := collectSites(pass, specs, body)
 	for _, s := range sites {
+		// A release deferred before the acquire (defer b.Wait() ahead of
+		// the submit loop) covers every exit but sits on no CFG path
+		// from the acquire; recognize it lexically.
+		if deferredReleaseBefore(pass, body, s) {
+			continue
+		}
 		if leaks(pass, g, s, nil) {
 			relNames := releaseNames(s.spec)
 			switch {
 			case s.spec.ErrorPathsOnly:
 				ig.Report(s.call.Pos(),
-					"%s leak: pages from %s(...) in %q are not freed on an error-return path (%s)",
+					"%s leak: the resource from %s(...) in %q is not released on an error-return path (%s)",
 					s.spec.Name, s.method, s.token, s.spec.Hint)
 			default:
 				ig.Report(s.call.Pos(),
@@ -573,6 +614,30 @@ func checkFunc(pass *analysis.Pass, ig *ignore.Reporter, byName map[string]*Spec
 			}
 		}
 	}
+}
+
+// deferredReleaseBefore reports whether body registers a deferred
+// release of s's resource lexically before the acquire call (and not
+// inside a nested function literal).  Such a defer runs at every
+// function exit, so the acquire cannot leak.
+func deferredReleaseBefore(pass *analysis.Pass, body *ast.BlockStmt, s *site) bool {
+	covered := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if covered {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if n.Pos() < s.call.Pos() && nodeEffect(pass, n, s, nil) == effectRelease {
+				covered = true
+			}
+			return false
+		}
+		return true
+	})
+	return covered
 }
 
 func releaseNames(sp *Spec) string {
@@ -654,9 +719,13 @@ func collectSites(pass *analysis.Pass, specs []*Spec, body *ast.BlockStmt) []*si
 			if s.call != call {
 				continue
 			}
-			if s.spec.ErrGuarded && len(as.Lhs) >= 2 {
-				if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok {
-					s.errVar = pass.TypesInfo.ObjectOf(id)
+			if s.spec.ErrGuarded && len(as.Lhs) >= 1 {
+				// The error is the last result — which may be the only
+				// one (err := b.Submit(sqe)).
+				if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && eosutil.IsErrorType(obj.Type()) {
+						s.errVar = obj
+					}
 				}
 			}
 			if s.spec.AcquireKey == KeyResult0 {
@@ -677,14 +746,101 @@ func collectSites(pass *analysis.Pass, specs []*Spec, body *ast.BlockStmt) []*si
 		}
 		kept = append(kept, s)
 	}
+	for _, s := range kept {
+		attachGuard(pass, body, s)
+	}
 	return kept
+}
+
+// attachGuard locates the `if errVar != nil` statement that guards s:
+// the first test of s.errVar after the acquire call and before the
+// variable is written again.  A reused err variable makes every later
+// `if err != nil` look like a guard; only the one before the next
+// write belongs to this acquire.
+func attachGuard(pass *analysis.Pass, body *ast.BlockStmt, s *site) {
+	if s.errVar == nil {
+		return
+	}
+	// First write to errVar strictly after the acquire (the acquire's
+	// own assignment contains the call and is skipped by position).
+	var nextWrite token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() <= s.call.End() {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == s.errVar {
+				if nextWrite == token.NoPos || as.Pos() < nextWrite {
+					nextWrite = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !condTestsVar(pass, ifs.Cond, s.errVar) {
+			return true
+		}
+		pos := ifs.Cond.Pos()
+		if pos <= s.call.End() || (nextWrite != token.NoPos && pos >= nextWrite) {
+			return true
+		}
+		if s.guardIf == nil || pos < s.guardIf.Cond.Pos() {
+			s.guardIf = ifs
+		}
+		return true
+	})
+}
+
+// condTestsVar reports whether cond is a binary comparison mentioning
+// obj.
+func condTestsVar(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if x, ok := bin.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(x) == obj {
+		return true
+	}
+	if y, ok := bin.Y.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(y) == obj {
+		return true
+	}
+	return false
 }
 
 // matchAny matches call against a matcher list, returning the method.
 func matchAny(pass *analysis.Pass, ms []matcher, call *ast.CallExpr) (string, bool) {
 	for _, m := range ms {
+		if m.typ == "" {
+			if name, ok := isPkgFuncCall(pass.TypesInfo, call, m.pkg, m.methods); ok {
+				return name, true
+			}
+			continue
+		}
 		if name, ok := eosutil.IsMethodCallAny(pass.TypesInfo, call, m.pkg, m.typ, m.methods...); ok {
 			return name, true
+		}
+	}
+	return "", false
+}
+
+// isPkgFuncCall reports whether call invokes a package-level function
+// of the package named pkg with one of the given names.  Matching is
+// by package name (not import path), like the method matcher, so
+// analysistest fixtures can declare stand-in packages.
+func isPkgFuncCall(info *types.Info, call *ast.CallExpr, pkg string, funcs []string) (string, bool) {
+	fn := eosutil.CalleeAny(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != pkg {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	for _, m := range funcs {
+		if fn.Name() == m {
+			return m, true
 		}
 	}
 	return "", false
@@ -857,8 +1013,10 @@ func findNode(g *cfg.CFG, target ast.Node) (*cfg.Block, int) {
 	return nil, 0
 }
 
-// isErrGuard reports whether b is the then-branch of an `if err != nil`
-// statement testing the error variable assigned by this acquire.
+// isErrGuard reports whether b is the then-branch of the `if err != nil`
+// statement guarding this acquire.  Literal sites carry the precise
+// guard statement found by attachGuard; obligation sites from leaksip
+// fall back to matching any test of the error variable.
 func isErrGuard(pass *analysis.Pass, b *cfg.Block, s *site) bool {
 	if s.errVar == nil || b.Kind != cfg.KindIfThen {
 		return false
@@ -867,17 +1025,10 @@ func isErrGuard(pass *analysis.Pass, b *cfg.Block, s *site) bool {
 	if !ok {
 		return false
 	}
-	bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
-	if !ok {
-		return false
+	if s.guardIf != nil {
+		return ifStmt == s.guardIf
 	}
-	if x, ok := bin.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(x) == s.errVar {
-		return true
-	}
-	if y, ok := bin.Y.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(y) == s.errVar {
-		return true
-	}
-	return false
+	return condTestsVar(pass, ifStmt.Cond, s.errVar)
 }
 
 // isErrorReturn reports whether exit block b returns a non-nil error

@@ -1,0 +1,59 @@
+// Package disk is a stand-in for the engine's disk backend with the
+// shapes the analyzers match on: the Batch submit/wait discipline of
+// the async dispatcher and the FileVolume open→close lifecycle.
+package disk
+
+// PageNum indexes a page within a volume.
+type PageNum int64
+
+// SQE is a submission-queue entry.
+type SQE struct {
+	Start PageNum
+	Buf   []byte
+}
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	SQE SQE
+	Err error
+}
+
+// Dispatcher hands out batches.
+type Dispatcher struct{}
+
+// NewBatch opens a completion context.
+func (d *Dispatcher) NewBatch() *Batch { return &Batch{} }
+
+// Batch tracks one submitter's in-flight requests.
+type Batch struct{}
+
+// Submit enqueues one request.
+func (b *Batch) Submit(sqe SQE) error { return nil }
+
+// Wait harvests every outstanding completion.
+func (b *Batch) Wait() []CQE { return nil }
+
+// FileOptions configures a file volume.
+type FileOptions struct {
+	Direct      bool
+	CrashShadow bool
+}
+
+// FileVolume is the stand-in file-backed volume.
+type FileVolume struct{}
+
+// Close releases the backing descriptor.
+func (v *FileVolume) Close() error { return nil }
+
+// WritePages writes pages (here: a no-op use of the volume).
+func (v *FileVolume) WritePages(start PageNum, n int, data []byte) error { return nil }
+
+// CreateFileVolume creates a file-backed volume.
+func CreateFileVolume(path string, pageSize int, pages PageNum, opts FileOptions) (*FileVolume, error) {
+	return &FileVolume{}, nil
+}
+
+// OpenFileVolume opens an existing file-backed volume.
+func OpenFileVolume(path string, opts FileOptions) (*FileVolume, error) {
+	return &FileVolume{}, nil
+}

@@ -14,7 +14,7 @@ import (
 // freeing the run.  (The condition read of pg does not transfer
 // ownership.)
 func leakOnError(m *buddy.Manager) error {
-	pg, err := m.Alloc(4) // want "alloc leak: pages from Alloc\\(...\\) in \"pg\" are not freed on an error-return path"
+	pg, err := m.Alloc(4) // want "alloc leak: the resource from Alloc\\(...\\) in \"pg\" is not released on an error-return path"
 	if err != nil {
 		return err
 	}
@@ -30,7 +30,7 @@ func publish(m *buddy.Manager, pg buddy.PageNum) error { return nil }
 // viaAllocator leaks through the interface the large-object layer
 // actually allocates with: interface dispatch must match too.
 func viaAllocator(a lob.Allocator) error {
-	pg, n, err := a.AllocUpTo(8) // want "alloc leak: pages from AllocUpTo\\(...\\) in \"pg\" are not freed on an error-return path"
+	pg, n, err := a.AllocUpTo(8) // want "alloc leak: the resource from AllocUpTo\\(...\\) in \"pg\" is not released on an error-return path"
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,39 @@
+// Package pairs_filevol_bad holds file-volume lifecycle violations
+// the pairs analyzer must report: a volume opened or created on a
+// path that then returns an error without closing it, leaking the
+// descriptor and keeping the page file pinned.
+package pairs_filevol_bad
+
+import (
+	"errors"
+
+	"disk"
+)
+
+// leakOnSetupError opens the volume, then fails a later setup step
+// without closing it.
+func leakOnSetupError(path string, ready bool) (*disk.FileVolume, error) {
+	v, err := disk.OpenFileVolume(path, disk.FileOptions{}) // want "filevol leak: the resource from OpenFileVolume\\(...\\) in \"v\" is not released on an error-return path"
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, errors.New("not ready")
+	}
+	return v, nil
+}
+
+// leakOnSecondOpen creates the data volume, then leaks it when the
+// log volume fails to create — the exact shape of a two-volume store
+// constructor with a missing cleanup.
+func leakOnSecondOpen(dataPath, logPath string) (*disk.FileVolume, *disk.FileVolume, error) {
+	dv, err := disk.CreateFileVolume(dataPath, 512, 64, disk.FileOptions{}) // want "filevol leak: the resource from CreateFileVolume\\(...\\) in \"dv\" is not released on an error-return path"
+	if err != nil {
+		return nil, nil, err
+	}
+	lv, err := disk.CreateFileVolume(logPath, 512, 16, disk.FileOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return dv, lv, nil
+}

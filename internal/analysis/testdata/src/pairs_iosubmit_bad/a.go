@@ -1,0 +1,31 @@
+// Package pairs_iosubmit_bad holds dispatcher-batch violations the
+// pairs analyzer must report: a successful Submit whose batch can
+// reach a function exit without Wait, leaving the request's buffers
+// owned by the dispatcher.
+package pairs_iosubmit_bad
+
+import "disk"
+
+// submitNoWait fires a request and never harvests the completion.
+func submitNoWait(b *disk.Batch, sqe disk.SQE) error {
+	if err := b.Submit(sqe); err != nil { // want "iosubmit leak: Submit\\(b\\) can reach a function exit without Wait\\(b\\)"
+		return err
+	}
+	return nil
+}
+
+// waitSkippedOnBranch harvests completions on only one branch: the
+// early return abandons every request already submitted.
+func waitSkippedOnBranch(d *disk.Dispatcher, sqes []disk.SQE, stop bool) error {
+	b := d.NewBatch()
+	for _, sqe := range sqes {
+		if err := b.Submit(sqe); err != nil { // want "iosubmit leak: Submit\\(b\\) can reach a function exit without Wait\\(b\\)"
+			return err
+		}
+	}
+	if stop {
+		return nil
+	}
+	_ = b.Wait()
+	return nil
+}

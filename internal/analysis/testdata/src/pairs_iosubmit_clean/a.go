@@ -1,0 +1,41 @@
+// Package pairs_iosubmit_clean holds correct dispatcher-batch usage
+// the pairs analyzer must accept without diagnostics.
+package pairs_iosubmit_clean
+
+import "disk"
+
+// submitThenWait pairs the submit with a wait on the fallthrough path.
+func submitThenWait(b *disk.Batch, sqe disk.SQE) error {
+	if err := b.Submit(sqe); err != nil {
+		return err
+	}
+	_ = b.Wait()
+	return nil
+}
+
+// waitsViaDefer covers every exit — including the mid-loop submit
+// failure, where earlier requests are still in flight — with one
+// deferred Wait.
+func waitsViaDefer(d *disk.Dispatcher, sqes []disk.SQE) error {
+	b := d.NewBatch()
+	defer b.Wait()
+	for _, sqe := range sqes {
+		if err := b.Submit(sqe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain is a releasing helper: it waits out the batch it receives.
+func drain(b *disk.Batch) { _ = b.Wait() }
+
+// waitsThroughHelper releases through drain; the ReleasesFact makes
+// the call count as the batch's Wait.
+func waitsThroughHelper(b *disk.Batch, sqe disk.SQE) error {
+	if err := b.Submit(sqe); err != nil {
+		return err
+	}
+	drain(b)
+	return nil
+}

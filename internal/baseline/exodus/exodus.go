@@ -69,7 +69,7 @@ func (n *node) childIndex(off int64) (int, int64) {
 
 // Object is one EXODUS large object.
 type Object struct {
-	vol       *disk.Volume
+	vol       disk.Device
 	pool      *buffer.Pool
 	alloc     lob.Allocator
 	leafPages int // fixed leaf block size
@@ -78,7 +78,7 @@ type Object struct {
 }
 
 // New creates an empty object with the given leaf block size in pages.
-func New(vol *disk.Volume, pool *buffer.Pool, alloc lob.Allocator, leafPages int) (*Object, error) {
+func New(vol disk.Device, pool *buffer.Pool, alloc lob.Allocator, leafPages int) (*Object, error) {
 	if leafPages < 1 {
 		return nil, fmt.Errorf("exodus: invalid leaf block size %d", leafPages)
 	}

@@ -35,7 +35,7 @@ type segment struct {
 
 // LongField is one Starburst long field.
 type LongField struct {
-	vol      *disk.Volume
+	vol      disk.Device
 	alloc    lob.Allocator
 	segs     []segment
 	size     int64
@@ -43,7 +43,7 @@ type LongField struct {
 }
 
 // New creates an empty long field over the volume and allocator.
-func New(vol *disk.Volume, alloc lob.Allocator) *LongField {
+func New(vol disk.Device, alloc lob.Allocator) *LongField {
 	return &LongField{vol: vol, alloc: alloc, nextGrow: 1}
 }
 

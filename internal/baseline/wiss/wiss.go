@@ -41,14 +41,14 @@ type slice struct {
 
 // Object is one WiSS long data item.
 type Object struct {
-	vol    *disk.Volume
+	vol    disk.Device
 	alloc  lob.Allocator
 	slices []slice
 	size   int64
 }
 
 // New creates an empty long data item.
-func New(vol *disk.Volume, alloc lob.Allocator) *Object {
+func New(vol disk.Device, alloc lob.Allocator) *Object {
 	return &Object{vol: vol, alloc: alloc}
 }
 

@@ -123,8 +123,12 @@ func E12Recovery() (*Table, error) {
 		}
 		model = append(model[:off:off], append(append([]byte{}, data...), model[off:]...)...)
 	}
-	vol2.Crash()
-	logVol2.Crash()
+	if err := vol2.Crash(); err != nil {
+		return nil, err
+	}
+	if err := logVol2.Crash(); err != nil {
+		return nil, err
+	}
 	vol2.ResetStats()
 	s3, err := eos.Open(vol2, logVol2, eos.Options{})
 	if err != nil {

@@ -8,7 +8,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/eosdb/eos/internal/buddy"
 	"github.com/eosdb/eos/internal/buffer"
@@ -139,10 +143,66 @@ func Find(id string) (Experiment, bool) {
 
 // Stack is one freshly formatted storage stack for an experiment.
 type Stack struct {
-	Vol   *disk.Volume
+	Vol   disk.Device
 	Pool  *buffer.Pool
 	Buddy *buddy.Manager
 	LM    *lob.Manager
+}
+
+// Volume backend selection for the experiment harness.  The default
+// simulator reports modelled seek/transfer costs; the file backend
+// runs the same experiments against real temp-dir page files, where
+// Stats().Micros is measured wall-clock time instead.  Set by
+// cmd/eosbench's -backend flag before any stack is built.
+var (
+	// UseFileBackend routes NewStack* volumes to disk.FileVolume.
+	UseFileBackend bool
+	// FileBackendDir is where file-backed volumes are created (one
+	// numbered file per stack); empty means os.TempDir().
+	FileBackendDir string
+
+	fileVolSeq atomic.Int64
+)
+
+// newBenchVolume builds one experiment volume on the selected backend.
+func newBenchVolume(pageSize int, pages disk.PageNum) (disk.Device, error) {
+	if !UseFileBackend {
+		return disk.NewVolume(pageSize, pages, disk.DefaultCostModel())
+	}
+	dir := FileBackendDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	name := fmt.Sprintf("eosbench-%d-%d.eos", os.Getpid(), fileVolSeq.Add(1))
+	fv, err := disk.CreateFileVolume(filepath.Join(dir, name), pageSize, pages, disk.FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fileVolsMu.Lock()
+	fileVols = append(fileVols, fv)
+	fileVolsMu.Unlock()
+	return fv, nil
+}
+
+// Experiments build stacks freely and never tear them down (the
+// simulator needs none), so file-backed volumes are tracked here and
+// released in one sweep when the run ends.
+var (
+	fileVolsMu sync.Mutex
+	fileVols   []*disk.FileVolume // eos:guardedby fileVolsMu
+)
+
+// CleanupFileVolumes closes and deletes every file-backed experiment
+// volume created so far; cmd/eosbench defers it around the run.
+func CleanupFileVolumes() {
+	fileVolsMu.Lock()
+	vols := fileVols
+	fileVols = nil
+	fileVolsMu.Unlock()
+	for _, fv := range vols {
+		_ = fv.Close()
+		_ = os.Remove(fv.Path())
+	}
 }
 
 // stackGeometry is the default experiment geometry: 1 KB pages, which
@@ -161,7 +221,7 @@ func NewStack(numSpaces int, cfg lob.Config) (*Stack, error) {
 // NewStackGeometry formats a stack with explicit geometry.
 func NewStackGeometry(pageSize, numSpaces, capacity int, cfg lob.Config, superdir bool) (*Stack, error) {
 	pages := disk.PageNum(1 + numSpaces*(capacity+1))
-	vol, err := disk.NewVolume(pageSize, pages, disk.DefaultCostModel())
+	vol, err := newBenchVolume(pageSize, pages)
 	if err != nil {
 		return nil, err
 	}

@@ -73,7 +73,7 @@ func (m *Manager) Stats() ManagerStats {
 // of capacity data pages each, packed from firstPage as
 // [directory][data...] repeatedly.  It returns a manager over the new
 // spaces.
-func FormatVolume(pool *buffer.Pool, vol *disk.Volume, firstPage disk.PageNum, numSpaces, capacity int, useSuperdirectory bool) (*Manager, error) {
+func FormatVolume(pool *buffer.Pool, vol disk.Device, firstPage disk.PageNum, numSpaces, capacity int, useSuperdirectory bool) (*Manager, error) {
 	m := NewManager(pool, useSuperdirectory)
 	page := firstPage
 	for i := 0; i < numSpaces; i++ {

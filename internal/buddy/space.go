@@ -41,7 +41,7 @@ type Space struct {
 // FormatSpace initializes a new buddy space whose directory lives at
 // dirPage and whose data pages are the capacity pages starting at base.
 // capacity must fit the directory layout for the pool's page size.
-func FormatSpace(pool *buffer.Pool, dirPage, base disk.PageNum, capacity int, vol *disk.Volume) (*Space, error) {
+func FormatSpace(pool *buffer.Pool, dirPage, base disk.PageNum, capacity int, vol disk.Device) (*Space, error) {
 	maxType, maxCap, err := Layout(vol.PageSize())
 	if err != nil {
 		return nil, err

@@ -108,11 +108,16 @@ type Pool struct {
 	// Acquired before any shard mutex (rank 38 in the lattice).
 	flushMu sync.Mutex
 
-	vol      *disk.Volume
+	vol      disk.Device
 	capacity int
 	shards   []*shard
 	shift    uint // 64 - log2(len(shards)); selects high hash bits
 	pinWait  time.Duration
+
+	// disp, when set, carries write-back runs through the async I/O
+	// dispatcher: flushShard submits every coalesced run and overlaps
+	// their writes instead of issuing them one blocking call at a time.
+	disp *disk.Dispatcher
 }
 
 // defaultPinWait bounds how long a Fix waits for a pinned frame to be
@@ -136,7 +141,7 @@ func autoShards(capacity int) int {
 
 // NewPool creates a pool of capacity frames over vol, sharded
 // automatically by capacity.
-func NewPool(vol *disk.Volume, capacity int) (*Pool, error) {
+func NewPool(vol disk.Device, capacity int) (*Pool, error) {
 	return NewPoolShards(vol, capacity, 0)
 }
 
@@ -145,7 +150,7 @@ func NewPool(vol *disk.Volume, capacity int) (*Pool, error) {
 // selects automatically; shards == 1 yields the original single-lock,
 // global-LRU pool, whose deterministic eviction order the experiment
 // harness relies on.
-func NewPoolShards(vol *disk.Volume, capacity, shards int) (*Pool, error) {
+func NewPoolShards(vol disk.Device, capacity, shards int) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: invalid capacity %d", capacity)
 	}
@@ -184,7 +189,7 @@ func NewPoolShards(vol *disk.Volume, capacity, shards int) (*Pool, error) {
 }
 
 // MustNewPool is NewPool that panics on error.
-func MustNewPool(vol *disk.Volume, capacity int) *Pool {
+func MustNewPool(vol disk.Device, capacity int) *Pool {
 	p, err := NewPool(vol, capacity)
 	if err != nil {
 		panic(err)
@@ -194,6 +199,13 @@ func MustNewPool(vol *disk.Volume, capacity int) *Pool {
 
 // Shards reports the number of lock shards.
 func (p *Pool) Shards() int { return len(p.shards) }
+
+// SetDispatcher routes write-back runs through d so a shard's runs
+// overlap in flight instead of completing one blocking call at a time;
+// nil restores synchronous write-back.  The caller owns d's lifetime
+// and must not Close it before the pool's last flush.  Not safe to
+// change concurrently with flushes — set it at store construction.
+func (p *Pool) SetDispatcher(d *disk.Dispatcher) { p.disp = d }
 
 // SetPinWait bounds how long a Fix blocks waiting for a transiently
 // pinned frame before returning ErrNoFrames (default 250ms; 0 fails
@@ -506,6 +518,9 @@ func (p *Pool) flushShard(sh *shard) error {
 		return nil
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].page < dirty[j].page })
+	if p.disp != nil {
+		return p.flushRunsAsync(sh, dirty)
+	}
 	for i := 0; i < len(dirty); {
 		j := i + 1
 		for j < len(dirty) && dirty[j].page == dirty[j-1].page+1 {
@@ -525,6 +540,47 @@ func (p *Pool) flushShard(sh *shard) error {
 		i = j
 	}
 	return nil
+}
+
+// flushRunsAsync submits one shard's coalesced runs through the
+// dispatcher and harvests their completions, so the runs are in flight
+// concurrently.  Called with the shard mutex held (like the
+// synchronous path); the frame images are safe to read because pinned
+// frames were excluded and pin transitions need this same mutex.
+// Dirty bits clear only for runs whose write completed successfully.
+func (p *Pool) flushRunsAsync(sh *shard, dirty []*frame) error {
+	b := p.disp.NewBatch()
+	var submitErr error
+	for i := 0; i < len(dirty); {
+		j := i + 1
+		for j < len(dirty) && dirty[j].page == dirty[j-1].page+1 {
+			j++
+		}
+		run := make([][]byte, 0, j-i)
+		for _, f := range dirty[i:j] {
+			run = append(run, f.data)
+		}
+		sqe := disk.SQE{Op: disk.OpWriteRun, Start: dirty[i].page, Pages: run, Tag: dirty[i:j]}
+		if err := b.Submit(sqe); err != nil {
+			// Keep draining what was already submitted below.
+			submitErr = err
+			break
+		}
+		i = j
+	}
+	for _, cqe := range b.Wait() {
+		if cqe.Err != nil {
+			if submitErr == nil {
+				submitErr = cqe.Err
+			}
+			continue
+		}
+		for _, f := range cqe.SQE.Tag.([]*frame) {
+			f.dirty = false
+			sh.flushes.Add(1)
+		}
+	}
+	return submitErr
 }
 
 // Discard drops pg from the pool without writing it back, regardless of

@@ -81,6 +81,7 @@ type Stats struct {
 	Micros         int64 // modelled elapsed time in microseconds
 	RunWrites      int64 // vectored WriteRun requests (counted in Writes too)
 	CoalescedPages int64 // pages beyond the first in each WriteRun — seeks saved by coalescing
+	Syncs          int64 // durability barriers actually issued (fdatasync); 0 on the simulator
 }
 
 // Accesses returns the total number of I/O requests.
@@ -100,6 +101,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Micros:         s.Micros - prev.Micros,
 		RunWrites:      s.RunWrites - prev.RunWrites,
 		CoalescedPages: s.CoalescedPages - prev.CoalescedPages,
+		Syncs:          s.Syncs - prev.Syncs,
 	}
 }
 
@@ -466,8 +468,10 @@ func (v *Volume) Force(start PageNum, n int) error {
 	return nil
 }
 
-// ForceAll makes every written page durable.
-func (v *Volume) ForceAll() {
+// ForceAll makes every written page durable.  The error is always nil
+// for the simulator; the signature matches Device, whose file backend
+// can fail the sync.
+func (v *Volume) ForceAll() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	for p := range v.dirty {
@@ -475,6 +479,7 @@ func (v *Volume) ForceAll() {
 		copy(v.durable[off:off+int64(v.pageSize)], v.data[off:off+int64(v.pageSize)])
 	}
 	v.dirty = make(map[PageNum]bool)
+	return nil
 }
 
 // ForceAllExcept makes every written page durable except those in skip,
@@ -482,7 +487,7 @@ func (v *Volume) ForceAll() {
 // transaction's commit never forces another live transaction's in-place
 // writes to disk (the steal it cannot undo without that transaction's
 // log records being final).
-func (v *Volume) ForceAllExcept(skip map[PageNum]bool) {
+func (v *Volume) ForceAllExcept(skip map[PageNum]bool) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	for p := range v.dirty {
@@ -493,12 +498,13 @@ func (v *Volume) ForceAllExcept(skip map[PageNum]bool) {
 		copy(v.durable[off:off+int64(v.pageSize)], v.data[off:off+int64(v.pageSize)])
 		delete(v.dirty, p)
 	}
+	return nil
 }
 
 // Crash simulates a power failure: every page reverts to its last forced
 // image.  Statistics and head position are reset, as a restarted system
 // observes a cold device.
-func (v *Volume) Crash() {
+func (v *Volume) Crash() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	copy(v.data, v.durable)
@@ -507,7 +513,12 @@ func (v *Volume) Crash() {
 	v.stats = Stats{}
 	v.headPos = -1
 	v.accMu.Unlock()
+	return nil
 }
+
+// Close releases the volume.  The simulator holds no external
+// resources, so Close only exists to satisfy Device.
+func (v *Volume) Close() error { return nil }
 
 // DirtyPages reports how many written pages have not been forced.
 func (v *Volume) DirtyPages() int {

@@ -1,0 +1,204 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Dispatcher is a bounded asynchronous I/O front-end for a Device: a
+// fixed pool of worker goroutines drains a submission queue and posts
+// per-request completions.  The API is shaped like io_uring — callers
+// enqueue SQEs and harvest CQEs — so an actual uring backend can slot
+// in behind the same surface later; today the workers simply issue the
+// Device's blocking calls, which already overlap in the kernel because
+// both backends are concurrency-safe and positional.
+//
+// Submission order is not completion order.  Completions are delivered
+// per Batch: each concurrent caller opens its own Batch, submits any
+// number of requests through it, and Wait blocks until all of them have
+// completed — so independent callers (e.g. the buffer pool's per-shard
+// flushers) never steal each other's completions.
+type Dispatcher struct {
+	dev Device
+	sq  chan submission
+	wg  sync.WaitGroup
+
+	// mu guards closed.  Rank 56: may be held while enqueueing, never
+	// across device I/O.
+	mu     sync.Mutex
+	closed bool // eos:guardedby mu
+}
+
+// Op selects the device call a SQE performs.
+type Op uint8
+
+const (
+	// OpRead reads N pages at Start into Buf.
+	OpRead Op = iota
+	// OpWrite writes Buf (N pages) at Start.
+	OpWrite
+	// OpWriteRun gather-writes Pages at Start as one vectored request.
+	OpWriteRun
+	// OpForce makes N pages at Start durable.
+	OpForce
+)
+
+// SQE is a submission-queue entry: one device request.
+type SQE struct {
+	Op    Op
+	Start PageNum
+	N     int      // page count for OpRead, OpWrite, OpForce
+	Buf   []byte   // data for OpRead (destination) and OpWrite (source)
+	Pages [][]byte // data for OpWriteRun
+	Tag   any      // caller cookie, echoed in the CQE
+}
+
+// CQE is a completion-queue entry: the submitted SQE plus its result.
+type CQE struct {
+	SQE SQE
+	Err error
+}
+
+// ErrDispatcherClosed is returned by Submit after Close.
+var ErrDispatcherClosed = errors.New("disk: dispatcher closed")
+
+type submission struct {
+	sqe SQE
+	b   *Batch
+}
+
+// NewDispatcher starts workers goroutines serving dev with a
+// submission queue of depth entries (Submit blocks when it is full —
+// that bound is the backpressure).  Both sizes are clamped to at
+// least 1.
+func NewDispatcher(dev Device, workers, depth int) *Dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	d := &Dispatcher{dev: dev, sq: make(chan submission, depth)}
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for sub := range d.sq {
+		sub.b.complete(CQE{SQE: sub.sqe, Err: d.run(sub.sqe)})
+	}
+}
+
+func (d *Dispatcher) run(sqe SQE) error {
+	switch sqe.Op {
+	case OpRead:
+		return d.dev.ReadPages(sqe.Start, sqe.N, sqe.Buf)
+	case OpWrite:
+		return d.dev.WritePages(sqe.Start, sqe.N, sqe.Buf)
+	case OpWriteRun:
+		return d.dev.WriteRun(sqe.Start, sqe.Pages)
+	case OpForce:
+		return d.dev.Force(sqe.Start, sqe.N)
+	default:
+		return fmt.Errorf("disk: unknown dispatch op %d", sqe.Op)
+	}
+}
+
+// Close drains the submission queue, waits for in-flight requests to
+// complete, and stops the workers.  Idempotent.  Batches with pending
+// requests still receive their completions before Close returns.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.sq)
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// NewBatch opens a completion context.  Every Submit must be balanced
+// by a Wait harvesting its completion; a Batch is cheap and need not
+// be closed.  A Batch must not be shared between goroutines (each
+// concurrent submitter opens its own), though workers post completions
+// into it concurrently.
+func (d *Dispatcher) NewBatch() *Batch {
+	b := &Batch{d: d}
+	b.cond.L = &b.mu
+	return b
+}
+
+// Batch tracks the in-flight requests of one submitter and collects
+// their completions.
+type Batch struct {
+	d *Dispatcher
+
+	// mu guards the completion state.  Rank 57: never held across
+	// device I/O or queue sends.
+	mu      sync.Mutex
+	cond    sync.Cond
+	pending int   // eos:guardedby mu
+	done    []CQE // eos:guardedby mu
+}
+
+// Submit enqueues one request, blocking while the submission queue is
+// full.  The completion is harvested by a later Wait.  The request's
+// buffers must stay untouched until that Wait returns.
+func (b *Batch) Submit(sqe SQE) error {
+	d := b.d
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrDispatcherClosed
+	}
+	b.mu.Lock()
+	b.pending++
+	b.mu.Unlock()
+	// The send happens under d.mu so Close cannot close the channel
+	// between the check and the send; the queue bound still applies —
+	// Close is rare and a blocked Submit holding d.mu only delays it.
+	d.sq <- submission{sqe: sqe, b: b}
+	d.mu.Unlock()
+	return nil
+}
+
+func (b *Batch) complete(cqe CQE) {
+	b.mu.Lock()
+	b.done = append(b.done, cqe)
+	b.pending--
+	if b.pending == 0 {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// Wait blocks until every request submitted through this Batch has
+// completed and returns their CQEs (in completion order, not
+// submission order), resetting the Batch for reuse.
+func (b *Batch) Wait() []CQE {
+	b.mu.Lock()
+	for b.pending > 0 {
+		b.cond.Wait()
+	}
+	done := b.done
+	b.done = nil
+	b.mu.Unlock()
+	return done
+}
+
+// FirstError returns the first non-nil error among cqes, if any.
+func FirstError(cqes []CQE) error {
+	for _, c := range cqes {
+		if c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDispatcherReadWrite(t *testing.T) {
+	v := testVolume(t, 64, 32)
+	d := NewDispatcher(v, 4, 8)
+	defer d.Close()
+
+	b := d.NewBatch()
+	for i := 0; i < 8; i++ {
+		buf := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		if err := b.Submit(SQE{Op: OpWrite, Start: PageNum(i), N: 1, Buf: buf, Tag: i}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	cqes := b.Wait()
+	if len(cqes) != 8 {
+		t.Fatalf("got %d completions, want 8", len(cqes))
+	}
+	if err := FirstError(cqes); err != nil {
+		t.Fatalf("write error: %v", err)
+	}
+
+	// Reads through the same batch, completions carry the tags back.
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+		if err := b.Submit(SQE{Op: OpRead, Start: PageNum(i), N: 1, Buf: bufs[i], Tag: i}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	cqes = b.Wait()
+	if err := FirstError(cqes); err != nil {
+		t.Fatalf("read error: %v", err)
+	}
+	seen := make(map[int]bool)
+	for _, c := range cqes {
+		seen[c.SQE.Tag.(int)] = true
+	}
+	for i := range bufs {
+		if !seen[i] {
+			t.Fatalf("completion for tag %d missing", i)
+		}
+		if !bytes.Equal(bufs[i], bytes.Repeat([]byte{byte(i + 1)}, 64)) {
+			t.Errorf("page %d content wrong", i)
+		}
+	}
+}
+
+func TestDispatcherErrorsSurfaceInCQE(t *testing.T) {
+	v := testVolume(t, 64, 8)
+	d := NewDispatcher(v, 2, 4)
+	defer d.Close()
+	b := d.NewBatch()
+	if err := b.Submit(SQE{Op: OpRead, Start: 100, N: 1, Buf: make([]byte, 64)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	cqes := b.Wait()
+	if len(cqes) != 1 || !errors.Is(cqes[0].Err, ErrOutOfRange) {
+		t.Fatalf("cqes = %+v, want one ErrOutOfRange", cqes)
+	}
+}
+
+func TestDispatcherConcurrentBatches(t *testing.T) {
+	// Two submitters on distinct batches must never steal each other's
+	// completions — this is the property flushShard relies on.
+	v := testVolume(t, 64, 256)
+	d := NewDispatcher(v, 4, 4)
+	defer d.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := d.NewBatch()
+			for round := 0; round < 10; round++ {
+				for i := 0; i < 4; i++ {
+					sqe := SQE{Op: OpWrite, Start: PageNum(g*32 + i), N: 1,
+						Buf: make([]byte, 64), Tag: g}
+					if err := b.Submit(sqe); err != nil {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+				}
+				cqes := b.Wait()
+				if len(cqes) != 4 {
+					t.Errorf("goroutine %d: %d completions, want 4", g, len(cqes))
+					return
+				}
+				for _, c := range cqes {
+					if c.SQE.Tag.(int) != g {
+						t.Errorf("goroutine %d got completion for %v", g, c.SQE.Tag)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDispatcherWriteRunAndForce(t *testing.T) {
+	v := testFileVolume(t, 64, 32, FileOptions{})
+	d := NewDispatcher(v, 2, 4)
+	defer d.Close()
+	b := d.NewBatch()
+	pages := [][]byte{bytes.Repeat([]byte{7}, 64), bytes.Repeat([]byte{8}, 64)}
+	if err := b.Submit(SQE{Op: OpWriteRun, Start: 4, Pages: pages}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := FirstError(b.Wait()); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	if err := b.Submit(SQE{Op: OpForce, Start: 4, N: 2}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := FirstError(b.Wait()); err != nil {
+		t.Fatalf("Force: %v", err)
+	}
+	got, err := v.Read(4, 2)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got[:64], pages[0]) || !bytes.Equal(got[64:], pages[1]) {
+		t.Error("dispatched run content wrong")
+	}
+	if v.Stats().Syncs != 1 {
+		t.Errorf("Syncs = %d, want 1", v.Stats().Syncs)
+	}
+}
+
+func TestDispatcherClose(t *testing.T) {
+	v := testVolume(t, 64, 8)
+	d := NewDispatcher(v, 2, 4)
+	b := d.NewBatch()
+	if err := b.Submit(SQE{Op: OpWrite, Start: 0, N: 1, Buf: make([]byte, 64)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Close drains: the in-flight request still completes.
+	d.Close()
+	if got := len(b.Wait()); got != 1 {
+		t.Fatalf("completions after close = %d, want 1", got)
+	}
+	if err := b.Submit(SQE{Op: OpWrite, Start: 0, N: 1, Buf: make([]byte, 64)}); !errors.Is(err, ErrDispatcherClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrDispatcherClosed", err)
+	}
+	d.Close() // idempotent
+}
+
+func TestDispatcherUnknownOp(t *testing.T) {
+	v := testVolume(t, 64, 8)
+	d := NewDispatcher(v, 1, 1)
+	defer d.Close()
+	b := d.NewBatch()
+	if err := b.Submit(SQE{Op: Op(99)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := FirstError(b.Wait()); err == nil {
+		t.Fatal("unknown op completed successfully")
+	}
+}

@@ -8,11 +8,21 @@ import (
 	"os"
 )
 
-// Volume images can be saved to and loaded from ordinary files so that
-// the command-line tools work on persistent stores.  The image holds the
-// durable state only: saving implies a ForceAll (a tool exiting cleanly
-// is a clean shutdown), and a loaded volume starts with everything
-// durable.
+// Two persistence shapes exist, and this file is the bridge between
+// them:
+//
+//   - Volume *images* (SaveFile/LoadVolume): a flat snapshot of a
+//     simulator volume's durable state, for the command-line tools.
+//     Saving implies a ForceAll (a tool exiting cleanly is a clean
+//     shutdown) and a loaded volume starts with everything durable.
+//
+//   - FileVolume's *native* format: a live page file the real backend
+//     reads and writes in place (see filevol.go).
+//
+// MigrateToFile and MigrateToSim convert between the backends by
+// copying pages through the Device interface, so a store formatted on
+// the simulator can move to real files and back without the engine
+// noticing.
 
 const (
 	imageMagic   = 0xE05F11E1
@@ -21,7 +31,9 @@ const (
 
 // SaveFile forces all writes and stores the volume image at path.
 func (v *Volume) SaveFile(path string) error {
-	v.ForceAll()
+	if err := v.ForceAll(); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -81,5 +93,68 @@ func LoadVolume(path string, model CostModel) (*Volume, error) {
 	}
 	copy(v.data, v.durable)
 	v.mu.Unlock()
+	return v, nil
+}
+
+// migrateChunk is how many pages CopyDevice moves per request — large
+// enough to amortize per-request cost, small enough to bound the copy
+// buffer.
+const migrateChunk = 64
+
+// CopyDevice copies every page of src into dst and forces the result.
+// The geometries must match exactly.  Fault injection and tracing on
+// either side apply as for any other I/O.
+func CopyDevice(dst, src Device) error {
+	if dst.PageSize() != src.PageSize() || dst.NumPages() != src.NumPages() {
+		return fmt.Errorf("disk: migrate geometry mismatch: %d pages x %d bytes -> %d pages x %d bytes",
+			src.NumPages(), src.PageSize(), dst.NumPages(), dst.PageSize())
+	}
+	pageSize := src.PageSize()
+	total := src.NumPages()
+	buf := make([]byte, migrateChunk*pageSize)
+	for p := PageNum(0); p < total; p += migrateChunk {
+		n := migrateChunk
+		if rem := int(total - p); rem < n {
+			n = rem
+		}
+		chunk := buf[:n*pageSize]
+		if err := src.ReadPages(p, n, chunk); err != nil {
+			return fmt.Errorf("disk: migrate read pages [%d,%d): %w", p, int64(p)+int64(n), err)
+		}
+		if err := dst.WritePages(p, n, chunk); err != nil {
+			return fmt.Errorf("disk: migrate write pages [%d,%d): %w", p, int64(p)+int64(n), err)
+		}
+	}
+	return dst.ForceAll()
+}
+
+// MigrateToFile exports src (any backend, typically the simulator)
+// into a new file-backed volume at path with identical geometry.  On
+// error the partially-written file is removed.
+func MigrateToFile(src Device, path string, opts FileOptions) (*FileVolume, error) {
+	fv, err := CreateFileVolume(path, src.PageSize(), src.NumPages(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := CopyDevice(fv, src); err != nil {
+		_ = fv.Close()
+		_ = os.Remove(path)
+		return nil, err
+	}
+	return fv, nil
+}
+
+// MigrateToSim imports src (any backend, typically a FileVolume) into
+// a new simulator volume with identical geometry, costed by model.
+// The copy itself is excluded from the new volume's statistics.
+func MigrateToSim(src Device, model CostModel) (*Volume, error) {
+	v, err := NewVolume(src.PageSize(), src.NumPages(), model)
+	if err != nil {
+		return nil, err
+	}
+	if err := CopyDevice(v, src); err != nil {
+		return nil, err
+	}
+	v.ResetStats()
 	return v, nil
 }

@@ -1,0 +1,38 @@
+//go:build !linux
+
+package disk
+
+import (
+	"fmt"
+	"os"
+)
+
+// openFileVolume opens path.  Direct I/O is Linux-only; requesting it
+// elsewhere fails cleanly rather than silently using the page cache.
+func openFileVolume(path string, flag int, direct bool) (*os.File, error) {
+	if direct {
+		return nil, fmt.Errorf("disk: O_DIRECT is not supported on this platform")
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// fdatasyncFile falls back to a full fsync where fdatasync is
+// unavailable — strictly more durable, never less.
+func fdatasyncFile(f *os.File) error { return f.Sync() }
+
+// pwritevFull is the portable sequential fallback for the vectored run
+// write: one positional write per page, same bytes at the same
+// offsets.
+func pwritevFull(f *os.File, bufs [][]byte, off int64) error {
+	for _, b := range bufs {
+		if _, err := f.WriteAt(b, off); err != nil {
+			return err
+		}
+		off += int64(len(b))
+	}
+	return nil
+}

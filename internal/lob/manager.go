@@ -112,7 +112,7 @@ type stats struct {
 // index pages, and an allocator.  Leaf segments bypass the pool: they are
 // transferred with direct multi-page volume I/O.
 type Manager struct {
-	vol   *disk.Volume
+	vol   disk.Device
 	pool  *buffer.Pool
 	alloc Allocator
 	cfg   Config
@@ -124,7 +124,7 @@ type Manager struct {
 }
 
 // NewManager validates cfg and creates a manager.
-func NewManager(vol *disk.Volume, pool *buffer.Pool, alloc Allocator, cfg Config) (*Manager, error) {
+func NewManager(vol disk.Device, pool *buffer.Pool, alloc Allocator, cfg Config) (*Manager, error) {
 	if cfg.Threshold < 1 {
 		cfg.Threshold = 1
 	}

@@ -142,7 +142,7 @@ type Log struct {
 	forceMu sync.Mutex
 
 	mu       sync.Mutex
-	vol      *disk.Volume
+	vol      disk.Device
 	ps       int
 	grouped  bool   // eos:guardedby mu -- buffered appends + group commit (default); false = serial baseline
 	buf      []byte // eos:guardedby mu -- records appended but not yet written to the volume
@@ -153,7 +153,7 @@ type Log struct {
 }
 
 // New creates an empty log on vol.
-func New(vol *disk.Volume) *Log {
+func New(vol disk.Device) *Log {
 	return &Log{vol: vol, ps: vol.PageSize(), grouped: true}
 }
 
@@ -458,7 +458,7 @@ func (l *Log) readAt(off int64, buf []byte) error {
 // Recover reattaches a log after a crash: it scans from byte 0 to find
 // the durable tail and positions appends there.  It returns the records
 // found.
-func Recover(vol *disk.Volume) (*Log, []*Record, error) {
+func Recover(vol disk.Device) (*Log, []*Record, error) {
 	l := New(vol)
 	var recs []*Record
 	if err := l.Scan(0, func(r *Record) error {

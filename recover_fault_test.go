@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"testing"
-
-	"github.com/eosdb/eos/internal/disk"
 )
 
 // TestRecoverysSurviveRepeatedCrashes re-crashes the store in the middle
@@ -13,8 +11,8 @@ import (
 // clean recovery still reconstructs the committed state — recovery must
 // be restartable from any prefix of its own writes.
 func TestRecoverySurvivesRepeatedCrashes(t *testing.T) {
-	vol := disk.MustNewVolume(512, 8192, disk.DefaultCostModel())
-	logVol := disk.MustNewVolume(512, 4096, disk.DefaultCostModel())
+	vol := newTestDevice(t, 512, 8192)
+	logVol := newTestDevice(t, 512, 4096)
 	s, err := Format(vol, logVol, Options{Threshold: 4})
 	if err != nil {
 		t.Fatal(err)

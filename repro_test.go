@@ -3,16 +3,14 @@ package eos
 import (
 	"bytes"
 	"testing"
-
-	"github.com/eosdb/eos/internal/disk"
 )
 
 // TestReproSoak2 distills the soak failure: fast-committed delete on one
 // object inside a multi-object transaction, then an aborted insert, then
 // a crash.
 func TestReproSoak2(t *testing.T) {
-	vol := disk.MustNewVolume(512, 8192, disk.DefaultCostModel())
-	logVol := disk.MustNewVolume(512, 8192, disk.DefaultCostModel())
+	vol := newTestDevice(t, 512, 8192)
+	logVol := newTestDevice(t, 512, 8192)
 	s, err := Format(vol, logVol, Options{Threshold: 4})
 	if err != nil {
 		t.Fatal(err)

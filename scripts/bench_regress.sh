@@ -28,6 +28,12 @@
 #           throughput under the storm, and >=90% of the idle-store
 #           scan throughput (BENCH_snapshot_scan.json records the
 #           accepted numbers).
+#   realio — BenchmarkRealIO* (file-backed volumes: pwritev runs,
+#           dispatcher write-back, durable commits, pool reads on
+#           real page files).  allocs/op rows gate like the *Mem
+#           pass; ns/op depends on the runner's filesystem and is
+#           informational (BENCH_real_io.json records accepted
+#           numbers and the vectored-vs-pagewise ratio).
 #
 # Regenerate the baseline after intentional read- or write-path
 # changes:
@@ -37,7 +43,9 @@
 #     go test -run '^$' -bench 'BenchmarkParallel.*Lat' -cpu=1,8 \
 #         -benchtime=100x -count=3 . ;
 #     go test -run '^$' -bench 'BenchmarkSnapshotScan' -cpu=8 \
-#         -benchtime=200x -count=2 . ; } > bench/baseline.txt
+#         -benchtime=200x -count=2 . ;
+#     go test -run '^$' -bench 'BenchmarkRealIO' \
+#         -benchtime=50x -count=3 -benchmem . ; } > bench/baseline.txt
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +68,8 @@ echo "running read+write-path benchmarks (gate: *Mem allocs/op, info: ns/op and 
         -benchtime=100x -count=3 .
     go test -run '^$' -bench 'BenchmarkSnapshotScan' -cpu=8 \
         -benchtime=200x -count=2 .
+    go test -run '^$' -bench 'BenchmarkRealIO' \
+        -benchtime=50x -count=3 -benchmem .
 } | tee "$CURRENT"
 
 # Snapshot read-mode gate: intra-run throughput ratios (best MB/s per

@@ -4,16 +4,51 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/eosdb/eos/internal/disk"
 )
 
-// newStore creates a store on fresh volumes.
-func newStore(t testing.TB, opts Options) (*Store, *disk.Volume, *disk.Volume) {
+// testBackend reports which Device backend the suite runs on, selected
+// by EOS_TEST_BACKEND: "sim" (the default) or "file".  CI runs the
+// tier-1 suite once per backend, so every store/txn/recovery test
+// exercises both the simulator and real temp-dir page files.
+func testBackend(t testing.TB) string {
+	switch b := os.Getenv("EOS_TEST_BACKEND"); b {
+	case "", "sim":
+		return "sim"
+	case "file":
+		return "file"
+	default:
+		t.Fatalf("unknown EOS_TEST_BACKEND %q (want sim or file)", b)
+		return ""
+	}
+}
+
+// newTestDevice builds one volume on the selected backend.  File
+// volumes enable crash shadowing so Crash() keeps the simulator's
+// "unforced writes are lost" semantics the recovery tests drive.
+func newTestDevice(t testing.TB, pageSize int, pages disk.PageNum) disk.Device {
 	t.Helper()
-	vol := disk.MustNewVolume(512, 4096, disk.DefaultCostModel())
-	logVol := disk.MustNewVolume(512, 1024, disk.DefaultCostModel())
+	if testBackend(t) == "sim" {
+		return disk.MustNewVolume(pageSize, pages, disk.DefaultCostModel())
+	}
+	path := filepath.Join(t.TempDir(), "vol.eos")
+	fv, err := disk.CreateFileVolume(path, pageSize, pages, disk.FileOptions{CrashShadow: true})
+	if err != nil {
+		t.Fatalf("CreateFileVolume: %v", err)
+	}
+	t.Cleanup(func() { _ = fv.Close() })
+	return fv
+}
+
+// newStore creates a store on fresh volumes of the selected backend.
+func newStore(t testing.TB, opts Options) (*Store, disk.Device, disk.Device) {
+	t.Helper()
+	vol := newTestDevice(t, 512, 4096)
+	logVol := newTestDevice(t, 512, 1024)
 	s, err := Format(vol, logVol, opts)
 	if err != nil {
 		t.Fatalf("Format: %v", err)

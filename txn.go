@@ -614,8 +614,7 @@ func (s *Store) forceDurableLocked(t *Txn) error {
 		}
 		t.wmu.Unlock()
 	}
-	s.vol.ForceAllExcept(skip)
-	return nil
+	return s.vol.ForceAllExcept(skip)
 }
 
 // Abort rolls the transaction back: operations are undone logically in
