@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/eosdb/eos/internal/buddy"
@@ -58,7 +59,7 @@ var (
 
 const (
 	storeMagic   = 0xE0557011
-	storeVersion = 1
+	storeVersion = 2 // v2: dual-slot catalog region, monotonic LSN base in header
 )
 
 // Options configures a Store.  The zero value selects reasonable
@@ -184,7 +185,7 @@ func (o Options) withDefaults(vol disk.Device) (Options, error) {
 	if err != nil {
 		return o, err
 	}
-	avail := int(vol.NumPages()) - 1 - o.CatalogPages
+	avail := int(vol.NumPages()) - 1 - catalogRegionPages(o)
 	if o.SpaceCapacity == 0 {
 		o.SpaceCapacity = maxCap
 		if o.SpaceCapacity > avail-1 {
@@ -211,11 +212,25 @@ func (o Options) withDefaults(vol disk.Device) (Options, error) {
 // another transaction's commit forces the volume, which is why replace
 // records log their physical extents for recovery-time undo.
 type catEntry struct {
-	id         uint64
-	name       string
-	obj        *lob.Object
-	txnDirty   uint64 // id of the transaction holding it dirty, or 0
-	stableDesc []byte // last committed descriptor; nil = not yet durable
+	id       uint64
+	name     string
+	obj      *lob.Object
+	txnDirty uint64 // id of the transaction holding it dirty, or 0
+
+	// stableDesc is the descriptor of the object's last committed
+	// (published) state; nil means the object has never committed and
+	// is omitted from catalog writes.  It is refreshed synchronously at
+	// every commit point — non-transactional publish, transaction
+	// commit, and abort — NOT lazily at catalog-write time: the
+	// durability quarantine reasons that any catalog barrier started
+	// after a run is quarantined persists roots that exclude the run,
+	// and catalog writes must be able to proceed while an object's
+	// latch is held (a writer stalled in allocation backpressure holds
+	// its latch while WAITING for a barrier to release quarantined
+	// space).  Writers are serialized per object by the latch or the
+	// transaction's exclusive lock; the atomic makes the latch-free
+	// read in writeCatalog safe.
+	stableDesc atomic.Pointer[[]byte]
 
 	// latch serializes physical access to the object's in-memory root
 	// and index pages under range locking: structural updates write-
@@ -223,6 +238,20 @@ type catEntry struct {
 	// duration of one operation, never to transaction end (§3.3's
 	// short-duration lock).
 	latch sync.RWMutex
+}
+
+// setStableDesc records desc as the last committed descriptor.  Callers
+// hold the object's write latch or the owning transaction's exclusive
+// lock, which serializes stores per object.
+func (e *catEntry) setStableDesc(desc []byte) { e.stableDesc.Store(&desc) }
+
+// loadStableDesc returns the last committed descriptor, or nil if the
+// object has never committed.  Safe without the object latch.
+func (e *catEntry) loadStableDesc() []byte {
+	if p := e.stableDesc.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Store is an EOS storage system instance over a data volume and a log
@@ -248,6 +277,50 @@ type Store struct {
 	nextID   uint64
 	nextTxn  uint64
 	liveTxns map[uint64]*Txn
+	// catSeq is the sequence number of the last catalog slot written
+	// (eos:guardedby mu); writeCatalog alternates slots on seq parity.
+	catSeq uint64
+	// lsnBase mirrors the log's LSN epoch base into the store header
+	// (eos:guardedby mu).  The header's copy is what recovery trusts: a
+	// log record whose LSN predates the header's base belongs to an
+	// epoch that was truncated — everything it describes is already
+	// durable — and is ignored even if the truncation's zeroing write
+	// was itself lost in the crash.
+	lsnBase uint64
+
+	// barrierStarted counts catalog barriers begun; barrierDurable is
+	// the index of the last one whose force completed.  Barriers are
+	// serialized under s.mu, but releaseRuns stamps quarantine entries
+	// without holding it, hence atomics.
+	barrierStarted atomic.Uint64
+	barrierDurable atomic.Uint64
+
+	// barrierReq is set while a backpressure-requested checkpoint (see
+	// requestBarrier) is in flight, so concurrent stalled allocators
+	// spawn at most one.
+	barrierReq atomic.Bool
+
+	// quarMu guards quar, the durability quarantine (leaf lock — never
+	// acquired while holding another store lock's critical section
+	// beyond s.mu).  Runs whose reader grace period has expired wait
+	// here, still absent from the buddy directories, until a catalog
+	// barrier that STARTED after they arrived completes — only then is
+	// every root the durable catalog can resolve to (the newest intact
+	// slot; a torn successor falls back no further than the last
+	// completed barrier) guaranteed not to reference them, and only
+	// then do they return to the free space.  Without this gate a freed
+	// page could be reallocated and overwritten while the on-disk
+	// catalog still referenced its old contents — recovery would then
+	// rebuild objects from garbage.
+	quarMu sync.Mutex
+	quar   []quarRun // eos:guardedby quarMu
+}
+
+// quarRun is one quarantined run: stamp is the barrierStarted value at
+// arrival, so the run is releasable once barrierDurable > stamp.
+type quarRun struct {
+	run   txn.Run
+	stamp uint64
 }
 
 // Format initializes a fresh store on vol, logging to logVol.  Either
@@ -262,7 +335,7 @@ func Format(vol, logVol disk.Device, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	firstSpacePage := disk.PageNum(1 + opts.CatalogPages)
+	firstSpacePage := disk.PageNum(1 + catalogRegionPages(opts))
 	bm, err := buddy.FormatVolume(pool, vol, firstSpacePage, opts.NumSpaces, opts.SpaceCapacity, !opts.DisableSuperdirectory)
 	if err != nil {
 		return nil, err
@@ -272,7 +345,7 @@ func Format(vol, logVol disk.Device, opts Options) (*Store, error) {
 		logVol:   logVol,
 		pool:     pool,
 		buddy:    bm,
-		log:      wal.New(logVol),
+		log:      wal.New(logVol, 0),
 		locks:    txn.NewLockTable(opts.LockTimeout),
 		opts:     opts,
 		catalog:  make(map[string]*catEntry),
@@ -337,7 +410,7 @@ func (a *epochAlloc) Alloc(n int) (disk.PageNum, error) {
 	for {
 		p, err := a.s.buddy.Alloc(n)
 		if err != nil {
-			retry, rerr := w.wait(a.s.epochs, err)
+			retry, rerr := w.wait(a.s, err)
 			if rerr != nil {
 				return 0, rerr
 			}
@@ -355,7 +428,7 @@ func (a *epochAlloc) AllocUpTo(n int) (disk.PageNum, int, error) {
 	for {
 		p, got, err := a.s.buddy.AllocUpTo(n)
 		if err != nil {
-			retry, rerr := w.wait(a.s.epochs, err)
+			retry, rerr := w.wait(a.s, err)
 			if rerr != nil {
 				return 0, 0, rerr
 			}
@@ -391,19 +464,53 @@ const (
 // see EpochManager.Admit for why this path is the last resort.
 type spaceWaiter struct{ deadline time.Time }
 
-func (w *spaceWaiter) wait(em *txn.EpochManager, err error) (bool, error) {
+func (w *spaceWaiter) wait(s *Store, err error) (bool, error) {
 	if !errors.Is(err, buddy.ErrNoSpace) {
 		return false, nil
 	}
+	drained := s.epochs.PendingPages() == 0 && s.quarantinedPages() == 0
 	switch {
 	case w.deadline.IsZero():
 		w.deadline = time.Now().Add(allocBackpressureWait)
-	case time.Now().After(w.deadline), em.PendingPages() == 0:
+	case time.Now().After(w.deadline), drained:
 		return false, nil
 	default:
 		time.Sleep(allocBackpressurePoll)
 	}
-	return true, em.Reclaim()
+	if rerr := s.epochs.Reclaim(); rerr != nil {
+		return true, rerr
+	}
+	// Reclaimed runs land in the durability quarantine, not the free
+	// space, and only a completed catalog barrier lets them out.  With
+	// no transaction commits or checkpoints running, no barrier would
+	// ever come — and this caller cannot run one itself (it holds its
+	// object's latch, and barriers take s.mu, which ranks before
+	// latches) — so request one from a clean stack and keep polling.
+	if s.quarantinedPages() > 0 {
+		s.requestBarrier()
+	}
+	return true, s.releaseQuarantined()
+}
+
+// requestBarrier runs a checkpoint on a fresh goroutine so that a
+// caller holding an object latch (allocation backpressure fires
+// mid-operation) can get a catalog barrier — and with it the release of
+// quarantined free space — without acquiring s.mu out of rank order.
+// writeCatalog reads committed descriptors latch-free (see
+// catEntry.stableDesc), so the checkpoint cannot block on the stalled
+// operation's latch.  At most one request runs at a time; the error is
+// dropped because the requester retries its allocation regardless and
+// reports its own failure.
+func (s *Store) requestBarrier() {
+	if !s.barrierReq.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.barrierReq.Store(false)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_ = s.checkpointLocked()
+	}()
 }
 func (a *epochAlloc) MaxSegmentPages() int { return a.s.buddy.MaxSegmentPages() }
 func (a *epochAlloc) Free(p disk.PageNum, n int) error {
@@ -414,17 +521,75 @@ func (a *epochAlloc) Free(p disk.PageNum, n int) error {
 // releaseRuns is the epoch manager's free routine: retired runs whose
 // grace period has passed are dropped from the buffer pool (their
 // frames may hold never-flushed images of superseded index nodes —
-// garbage now) and returned to the buddy system.
+// garbage now) and moved into the durability quarantine.  They do NOT
+// return to the buddy system yet: the on-disk catalog may still hold a
+// root that references them (a checkpointed pre-update descriptor),
+// and recovery's redo re-executes logged operations by READING the
+// object state those roots describe.  Reusing such a page before a
+// catalog barrier has durably superseded every such root would let a
+// crash rebuild committed objects from whatever the new owner wrote
+// over it.
 func (s *Store) releaseRuns(runs []txn.Run) error {
 	for _, r := range runs {
 		for i := 0; i < r.Pages; i++ {
 			s.pool.Discard(r.Start + disk.PageNum(i))
 		}
-		if err := s.buddy.Free(r.Start, r.Pages); err != nil {
+	}
+	// Stamp with the latest barrier already begun: its catalog image may
+	// predate the roots that stopped referencing these runs, so only a
+	// LATER barrier's completion proves the durable catalog is clear of
+	// them.
+	stamp := s.barrierStarted.Load()
+	s.quarMu.Lock()
+	for _, r := range runs {
+		s.quar = append(s.quar, quarRun{run: r, stamp: stamp})
+	}
+	s.quarMu.Unlock()
+	return nil
+}
+
+// releaseQuarantined returns to the buddy system every quarantined run
+// whose stamp precedes the last completed catalog barrier.  Every
+// commit point (non-transactional publish, transaction commit and
+// abort) refreshes stableDesc, so any barrier started after a run entered
+// quarantine wrote roots that exclude it; once that barrier's force
+// completes, no slot recovery can pick still references the run (a torn
+// later slot falls back exactly one barrier, never further).
+func (s *Store) releaseQuarantined() error {
+	durable := s.barrierDurable.Load()
+	s.quarMu.Lock()
+	var rel []quarRun
+	keep := s.quar[:0]
+	for _, q := range s.quar {
+		if q.stamp < durable {
+			rel = append(rel, q)
+		} else {
+			keep = append(keep, q)
+		}
+	}
+	s.quar = keep
+	s.quarMu.Unlock()
+	for i, q := range rel {
+		if err := s.buddy.Free(q.run.Start, q.run.Pages); err != nil {
+			// Re-stash what could not be freed rather than leaking it.
+			s.quarMu.Lock()
+			s.quar = append(s.quar, rel[i:]...)
+			s.quarMu.Unlock()
 			return err
 		}
 	}
 	return nil
+}
+
+// quarantinedPages counts pages awaiting their release barrier.
+func (s *Store) quarantinedPages() int {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	n := 0
+	for _, q := range s.quar {
+		n += q.run.Pages
+	}
+	return n
 }
 
 // PageSize reports the data volume's page size.
@@ -452,6 +617,7 @@ func (s *Store) writeHeader() error {
 	binary.BigEndian.PutUint32(img[12:], uint32(s.opts.SpaceCapacity))
 	binary.BigEndian.PutUint32(img[16:], uint32(s.opts.CatalogPages))
 	binary.BigEndian.PutUint64(img[20:], s.nextID)
+	binary.BigEndian.PutUint64(img[28:], s.lsnBase)
 	return nil
 }
 
@@ -482,13 +648,14 @@ func Open(vol, logVol disk.Device, opts Options) (*Store, error) {
 	opts.SpaceCapacity = int(binary.BigEndian.Uint32(img[12:]))
 	opts.CatalogPages = int(binary.BigEndian.Uint32(img[16:]))
 	nextID := binary.BigEndian.Uint64(img[20:])
+	lsnBase := binary.BigEndian.Uint64(img[28:])
 	if err := pool.Unpin(0); err != nil {
 		return nil, err
 	}
 
 	// Spaces.
 	bm := buddy.NewManager(pool, !opts.DisableSuperdirectory)
-	page := disk.PageNum(1 + opts.CatalogPages)
+	page := disk.PageNum(1 + catalogRegionPages(opts))
 	for i := 0; i < opts.NumSpaces; i++ {
 		sp, err := buddy.OpenSpace(pool, page)
 		if err != nil {
@@ -510,6 +677,7 @@ func Open(vol, logVol disk.Device, opts Options) (*Store, error) {
 		nextID:   nextID,
 		nextTxn:  1,
 		liveTxns: make(map[uint64]*Txn),
+		lsnBase:  lsnBase,
 	}
 	s.epochs = txn.NewEpochManager(s.releaseRuns)
 	// Admission control: throttle mutators once a quarter of the volume
@@ -721,18 +889,20 @@ func (s *Store) checkpointLocked() error {
 			return err
 		}
 	}
-	if resetLog {
-		// LSNs are byte offsets into the log, so truncating it starts a
-		// new epoch in which every record outranks the fully-durable
-		// state this checkpoint writes.  Zero the LSN in every object
-		// root (before encoding the descriptors!) so the idempotence
-		// guard compares correctly in the new epoch.
-		for _, e := range s.catalog {
-			e.latch.Lock()
-			e.obj.SetLSN(0)
-			e.latch.Unlock()
-		}
+	// Phase 1: make the store state durable under the CURRENT LSN epoch,
+	// data barrier first, catalog barrier second (see forceDurableLocked
+	// for why the order is load-bearing).  A crash anywhere in here
+	// recovers by replaying the intact log; the object roots carry their
+	// true LSNs (they are never zeroed — LSNs are monotonic across log
+	// truncations), so redo of an already-durable update is skipped by
+	// the idempotence guard rather than applied twice.
+	if err := s.pool.FlushAll(); err != nil {
+		return err
 	}
+	if err := s.vol.ForceAll(); err != nil {
+		return err
+	}
+	barrier := s.barrierStarted.Add(1)
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
@@ -742,15 +912,38 @@ func (s *Store) checkpointLocked() error {
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
-	if err := s.vol.ForceAll(); err != nil {
+	if err := s.vol.Force(0, 1+catalogRegionPages(s.opts)); err != nil {
 		return err
 	}
-	if resetLog {
-		if err := s.log.Reset(); err != nil {
+	s.barrierDurable.Store(barrier)
+	if !resetLog {
+		return s.releaseQuarantined()
+	}
+	// Phase 2 (quiescent only): truncate the log.  The new epoch base —
+	// one past the last LSN the old epoch issued — goes into the header
+	// first, alone on page 0, so its write is atomic: once it is
+	// durable, any leftover old-epoch records fail the recovery scan's
+	// LSN check (everything they describe became durable in phase 1);
+	// until it is durable, the old log is still intact and replayable.
+	// Only after both the header and the zeroed log are durable is it
+	// safe to reuse quarantined pages: no durable catalog root and no
+	// log record can reach them anymore.
+	if newBase := s.log.Base() + uint64(s.log.Tail()); newBase != s.lsnBase {
+		s.lsnBase = newBase
+		if err := s.writeHeader(); err != nil {
+			return err
+		}
+		if err := s.pool.FlushAll(); err != nil {
+			return err
+		}
+		if err := s.vol.Force(0, 1); err != nil {
+			return err
+		}
+		if err := s.log.Reset(newBase); err != nil {
 			return err
 		}
 	}
-	return nil
+	return s.releaseQuarantined()
 }
 
 // Create makes a new empty object; threshold <= 0 uses the store default.
@@ -765,6 +958,7 @@ func (s *Store) Create(name string, threshold int) (*Object, error) {
 	s.catalog[name] = e
 	s.byID[e.id] = e
 	e.obj.Publish(s.opts.SnapshotHistory)
+	e.setStableDesc(e.obj.EncodeDescriptor())
 	return &Object{s: s, e: e}, nil
 }
 
@@ -974,10 +1168,12 @@ func (s *Store) CheckNoLeaks() error {
 		return err
 	}
 	retired := int(s.epochs.PendingPages())
+	quarantined := s.quarantinedPages()
 	total := s.opts.NumSpaces * s.opts.SpaceCapacity
-	if free+reachable+retired != total {
-		return fmt.Errorf("%w: %d free + %d reachable + %d retired != %d total data pages (%d leaked)",
-			ErrCorruptStore, free, reachable, retired, total, total-free-reachable-retired)
+	if free+reachable+retired+quarantined != total {
+		return fmt.Errorf("%w: %d free + %d reachable + %d retired + %d quarantined != %d total data pages (%d leaked)",
+			ErrCorruptStore, free, reachable, retired, quarantined, total,
+			total-free-reachable-retired-quarantined)
 	}
 	return nil
 }
@@ -1011,6 +1207,12 @@ func (o *Object) mutate(op func(obj *lob.Object) error) error {
 	o.e.latch.Lock()
 	err := op(o.e.obj)
 	o.e.obj.Publish(o.s.opts.SnapshotHistory)
+	// Publish is this mode's commit point: refresh the catalog-visible
+	// descriptor before the latch drops, while still inside the epoch
+	// scope — pages this op freed cannot mature into the durability
+	// quarantine until EndMutation, so every barrier that could release
+	// them sees the refreshed root.
+	o.e.setStableDesc(o.e.obj.EncodeDescriptor())
 	o.e.latch.Unlock()
 	o.s.epochs.EndMutation(scope)
 	if rerr := o.s.epochs.Reclaim(); err == nil {
@@ -1116,6 +1318,7 @@ func (o *Object) SetThreshold(t int) {
 	o.e.latch.Lock()
 	defer o.e.latch.Unlock()
 	o.e.obj.SetThreshold(t)
+	o.e.setStableDesc(o.e.obj.EncodeDescriptor())
 }
 
 // Threshold returns the object's T.

@@ -31,7 +31,7 @@ type Batch struct{}
 func (b *Batch) Submit(sqe SQE) error { return nil }
 
 // Wait harvests every outstanding completion.
-func (b *Batch) Wait() []CQE { return nil }
+func (b *Batch) Wait() ([]CQE, error) { return nil, nil }
 
 // FileOptions configures a file volume.
 type FileOptions struct {

@@ -26,6 +26,6 @@ func waitSkippedOnBranch(d *disk.Dispatcher, sqes []disk.SQE, stop bool) error {
 	if stop {
 		return nil
 	}
-	_ = b.Wait()
+	_, _ = b.Wait()
 	return nil
 }

@@ -9,7 +9,7 @@ func submitThenWait(b *disk.Batch, sqe disk.SQE) error {
 	if err := b.Submit(sqe); err != nil {
 		return err
 	}
-	_ = b.Wait()
+	_, _ = b.Wait()
 	return nil
 }
 
@@ -28,7 +28,7 @@ func waitsViaDefer(d *disk.Dispatcher, sqes []disk.SQE) error {
 }
 
 // drain is a releasing helper: it waits out the batch it receives.
-func drain(b *disk.Batch) { _ = b.Wait() }
+func drain(b *disk.Batch) { _, _ = b.Wait() }
 
 // waitsThroughHelper releases through drain; the ReleasesFact makes
 // the call count as the batch's Wait.

@@ -568,17 +568,18 @@ func (p *Pool) flushRunsAsync(sh *shard, dirty []*frame) error {
 		}
 		i = j
 	}
-	for _, cqe := range b.Wait() {
+	cqes, waitErr := b.Wait()
+	for _, cqe := range cqes {
 		if cqe.Err != nil {
-			if submitErr == nil {
-				submitErr = cqe.Err
-			}
 			continue
 		}
 		for _, f := range cqe.SQE.Tag.([]*frame) {
 			f.dirty = false
 			sh.flushes.Add(1)
 		}
+	}
+	if submitErr == nil {
+		submitErr = waitErr
 	}
 	return submitErr
 }

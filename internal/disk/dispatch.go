@@ -142,10 +142,11 @@ type Batch struct {
 
 	// mu guards the completion state.  Rank 57: never held across
 	// device I/O or queue sends.
-	mu      sync.Mutex
-	cond    sync.Cond
-	pending int   // eos:guardedby mu
-	done    []CQE // eos:guardedby mu
+	mu       sync.Mutex
+	cond     sync.Cond
+	pending  int   // eos:guardedby mu
+	done     []CQE // eos:guardedby mu
+	firstErr error // eos:guardedby mu -- sticky first completion error of this cycle
 }
 
 // Submit enqueues one request, blocking while the submission queue is
@@ -172,6 +173,9 @@ func (b *Batch) Submit(sqe SQE) error {
 func (b *Batch) complete(cqe CQE) {
 	b.mu.Lock()
 	b.done = append(b.done, cqe)
+	if cqe.Err != nil && b.firstErr == nil {
+		b.firstErr = cqe.Err
+	}
 	b.pending--
 	if b.pending == 0 {
 		b.cond.Broadcast()
@@ -181,16 +185,21 @@ func (b *Batch) complete(cqe CQE) {
 
 // Wait blocks until every request submitted through this Batch has
 // completed and returns their CQEs (in completion order, not
-// submission order), resetting the Batch for reuse.
-func (b *Batch) Wait() []CQE {
+// submission order) along with the first per-request error, resetting
+// the Batch for reuse.  Returning the error directly means a caller
+// that only wants the barrier cannot silently drop a failed write —
+// exactly the class of bug a crash then turns into data loss (the page
+// looks flushed but the device never took it).  Callers that need
+// per-request disposition still inspect each CQE.Err.
+func (b *Batch) Wait() ([]CQE, error) {
 	b.mu.Lock()
 	for b.pending > 0 {
 		b.cond.Wait()
 	}
-	done := b.done
-	b.done = nil
+	done, err := b.done, b.firstErr
+	b.done, b.firstErr = nil, nil
 	b.mu.Unlock()
-	return done
+	return done, err
 }
 
 // FirstError returns the first non-nil error among cqes, if any.

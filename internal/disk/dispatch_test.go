@@ -19,12 +19,12 @@ func TestDispatcherReadWrite(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
-	cqes := b.Wait()
+	cqes, werr := b.Wait()
 	if len(cqes) != 8 {
 		t.Fatalf("got %d completions, want 8", len(cqes))
 	}
-	if err := FirstError(cqes); err != nil {
-		t.Fatalf("write error: %v", err)
+	if werr != nil {
+		t.Fatalf("write error: %v", werr)
 	}
 
 	// Reads through the same batch, completions carry the tags back.
@@ -35,9 +35,9 @@ func TestDispatcherReadWrite(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
-	cqes = b.Wait()
-	if err := FirstError(cqes); err != nil {
-		t.Fatalf("read error: %v", err)
+	cqes, rerr := b.Wait()
+	if rerr != nil {
+		t.Fatalf("read error: %v", rerr)
 	}
 	seen := make(map[int]bool)
 	for _, c := range cqes {
@@ -61,9 +61,12 @@ func TestDispatcherErrorsSurfaceInCQE(t *testing.T) {
 	if err := b.Submit(SQE{Op: OpRead, Start: 100, N: 1, Buf: make([]byte, 64)}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	cqes := b.Wait()
+	cqes, err := b.Wait()
 	if len(cqes) != 1 || !errors.Is(cqes[0].Err, ErrOutOfRange) {
 		t.Fatalf("cqes = %+v, want one ErrOutOfRange", cqes)
+	}
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Wait error = %v, want the CQE's ErrOutOfRange", err)
 	}
 }
 
@@ -88,7 +91,7 @@ func TestDispatcherConcurrentBatches(t *testing.T) {
 						return
 					}
 				}
-				cqes := b.Wait()
+				cqes, _ := b.Wait()
 				if len(cqes) != 4 {
 					t.Errorf("goroutine %d: %d completions, want 4", g, len(cqes))
 					return
@@ -114,13 +117,13 @@ func TestDispatcherWriteRunAndForce(t *testing.T) {
 	if err := b.Submit(SQE{Op: OpWriteRun, Start: 4, Pages: pages}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	if err := FirstError(b.Wait()); err != nil {
+	if _, err := b.Wait(); err != nil {
 		t.Fatalf("WriteRun: %v", err)
 	}
 	if err := b.Submit(SQE{Op: OpForce, Start: 4, N: 2}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	if err := FirstError(b.Wait()); err != nil {
+	if _, err := b.Wait(); err != nil {
 		t.Fatalf("Force: %v", err)
 	}
 	got, err := v.Read(4, 2)
@@ -144,8 +147,8 @@ func TestDispatcherClose(t *testing.T) {
 	}
 	// Close drains: the in-flight request still completes.
 	d.Close()
-	if got := len(b.Wait()); got != 1 {
-		t.Fatalf("completions after close = %d, want 1", got)
+	if cqes, _ := b.Wait(); len(cqes) != 1 {
+		t.Fatalf("completions after close = %d, want 1", len(cqes))
 	}
 	if err := b.Submit(SQE{Op: OpWrite, Start: 0, N: 1, Buf: make([]byte, 64)}); !errors.Is(err, ErrDispatcherClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrDispatcherClosed", err)
@@ -161,7 +164,32 @@ func TestDispatcherUnknownOp(t *testing.T) {
 	if err := b.Submit(SQE{Op: Op(99)}); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	if err := FirstError(b.Wait()); err == nil {
+	if _, err := b.Wait(); err == nil {
 		t.Fatal("unknown op completed successfully")
+	}
+}
+
+func TestDispatcherWaitSurfacesErrorWithoutCQEInspection(t *testing.T) {
+	// The barrier-only caller pattern: submit, Wait for the error, never
+	// look at individual CQEs.  A failed write must still surface.
+	v := testVolume(t, 64, 8)
+	d := NewDispatcher(v, 2, 4)
+	defer d.Close()
+	boom := errors.New("boom")
+	v.FailAfter(0, boom)
+	b := d.NewBatch()
+	if err := b.Submit(SQE{Op: OpWrite, Start: 0, N: 1, Buf: make([]byte, 64)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := b.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait error = %v, want the injected write failure", err)
+	}
+	v.ClearFault()
+	// The sticky error does not bleed into the next cycle.
+	if err := b.Submit(SQE{Op: OpWrite, Start: 0, N: 1, Buf: make([]byte, 64)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := b.Wait(); err != nil {
+		t.Fatalf("Wait after recovery = %v, want nil", err)
 	}
 }

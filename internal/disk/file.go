@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Two persistence shapes exist, and this file is the bridge between
@@ -29,35 +30,53 @@ const (
 	imageVersion = 1
 )
 
-// SaveFile forces all writes and stores the volume image at path.
+// SaveFile forces all writes and stores the volume image at path.  The
+// image is written to a temporary sibling and renamed into place after
+// an fsync, so an interrupted save can never leave a torn image where a
+// good one (or nothing) used to be; the directory is fsynced afterwards
+// so the rename itself survives a crash.
 func (v *Volume) SaveFile(path string) error {
 	if err := v.ForceAll(); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	var hdr [20]byte
-	binary.BigEndian.PutUint32(hdr[0:], imageMagic)
-	binary.BigEndian.PutUint32(hdr[4:], imageVersion)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(v.pageSize))
-	binary.BigEndian.PutUint64(hdr[12:], uint64(v.numPages))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	err = func() error {
+		w := bufio.NewWriter(f)
+		var hdr [20]byte
+		binary.BigEndian.PutUint32(hdr[0:], imageMagic)
+		binary.BigEndian.PutUint32(hdr[4:], imageVersion)
+		binary.BigEndian.PutUint32(hdr[8:], uint32(v.pageSize))
+		binary.BigEndian.PutUint64(hdr[12:], uint64(v.numPages))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		v.mu.Lock()
+		_, err := w.Write(v.durable)
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	v.mu.Lock()
-	_, err = w.Write(v.durable)
-	v.mu.Unlock()
 	if err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
-	if err := w.Flush(); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
-	return f.Sync()
+	return SyncDir(filepath.Dir(path))
 }
 
 // LoadVolume reads a volume image previously written by SaveFile.  The

@@ -121,3 +121,52 @@ func TestFaultInjection(t *testing.T) {
 		t.Fatalf("after clear: %v", err)
 	}
 }
+
+func TestSaveFileAtomicReplace(t *testing.T) {
+	// A re-save goes through a temp sibling + rename: the final path
+	// always holds a complete image and no temp file is left behind.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.img")
+
+	v := MustNewVolume(128, 16, DefaultCostModel())
+	if err := v.WritePages(0, 1, bytes.Repeat([]byte{1}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WritePages(0, 1, bytes.Repeat([]byte{2}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp image left behind: %v", err)
+	}
+	v2, err := LoadVolume(path, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v2.Read(0, 1)
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 128)) {
+		t.Error("re-saved image holds stale content")
+	}
+
+	// A save into a missing directory fails without clobbering anything.
+	if err := v.SaveFile(filepath.Join(dir, "nope", "vol.img")); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+	if _, err := LoadVolume(path, DefaultCostModel()); err != nil {
+		t.Errorf("original image damaged by failed save: %v", err)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("SyncDir on a missing directory succeeded")
+	}
+}

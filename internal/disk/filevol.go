@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 	"unsafe"
@@ -135,7 +136,33 @@ func CreateFileVolume(path string, pageSize int, numPages PageNum, opts FileOpti
 		_ = f.Close()
 		return nil, fmt.Errorf("disk: sync %s: %w", path, err)
 	}
+	// The file's own durability means nothing if its directory entry is
+	// lost: a crash right after create would roll the directory back and
+	// the volume — log file included — simply would not exist.
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
 	return v, nil
+}
+
+// SyncDir fsyncs a directory, making the entries it holds (file
+// creations and renames) durable.  POSIX durability is two-level:
+// fsync(file) persists content and inode, but the name→inode mapping
+// lives in the directory, which needs its own fsync.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("disk: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("disk: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // OpenFileVolume opens an existing file-backed volume, reading its

@@ -3,6 +3,7 @@ package disk
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -490,5 +491,66 @@ func TestMigrateGeometryMismatch(t *testing.T) {
 	c := testVolume(t, 128, 8)
 	if err := CopyDevice(c, a); err == nil {
 		t.Error("page size mismatch accepted")
+	}
+}
+
+func TestFileVolumeCrashPreservesHeaderAndSize(t *testing.T) {
+	// Crash() reverts unforced data pages from the shadow map — which
+	// must never contain the header/geometry block (file offset 0; data
+	// page p lives at offset (p+1)*pageSize), and must never shrink or
+	// grow the presized file.  A reopen after an unclean run depends on
+	// both.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.eos")
+	const ps, np = 512, 64
+	v, err := CreateFileVolume(path, ps, np, FileOptions{CrashShadow: true})
+	if err != nil {
+		t.Fatalf("CreateFileVolume: %v", err)
+	}
+	wantSize := int64(np+1) * ps
+
+	buf := bytes.Repeat([]byte{0xAB}, ps)
+	if err := v.WritePages(0, 1, buf); err != nil { // data page 0: first touch, shadowed
+		t.Fatal(err)
+	}
+	if err := v.Force(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WritePages(0, 1, bytes.Repeat([]byte{0xCD}, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WritePages(np-1, 1, buf); err != nil { // last page: growth guard
+		t.Fatal(err)
+	}
+	if err := v.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != wantSize {
+		t.Fatalf("file size after crash = %d, want %d", fi.Size(), wantSize)
+	}
+	got, err := v.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("forced page did not survive the crash intact")
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The header still opens with the right geometry.
+	v2, err := OpenFileVolume(path, FileOptions{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer v2.Close()
+	if v2.PageSize() != ps || v2.NumPages() != np {
+		t.Fatalf("geometry after crash = %dx%d, want %dx%d", v2.NumPages(), v2.PageSize(), np, ps)
 	}
 }

@@ -11,7 +11,14 @@
 //
 // The log lives on its own volume (a separate log disk, as is
 // conventional) and is an append-only sequence of length-prefixed,
-// checksummed records.  LSNs are byte offsets into the log.
+// checksummed records.  LSNs are monotonic across the store's whole
+// life: each log epoch (the records between two truncations) has a
+// base, and a record's LSN is base + its byte offset + 1.  Truncation
+// advances the base past every LSN the old epoch issued, so the LSN
+// guard in object roots stays valid without ever rewinding — and a
+// recovery scan can recognize (and ignore) records from a stale epoch
+// whose zeroing write was lost in a crash, because their LSNs do not
+// match the base the store header says is current.
 package wal
 
 import (
@@ -144,6 +151,7 @@ type Log struct {
 	mu       sync.Mutex
 	vol      disk.Device
 	ps       int
+	base     uint64 // eos:guardedby mu -- LSN of the epoch start; record at offset o has LSN base+o+1
 	grouped  bool   // eos:guardedby mu -- buffered appends + group commit (default); false = serial baseline
 	buf      []byte // eos:guardedby mu -- records appended but not yet written to the volume
 	bufStart int64  // eos:guardedby mu -- log byte offset of buf[0]; == bytes written to the volume
@@ -152,9 +160,19 @@ type Log struct {
 	stats    Stats  // eos:guardedby mu
 }
 
-// New creates an empty log on vol.
-func New(vol disk.Device) *Log {
-	return &Log{vol: vol, ps: vol.PageSize(), grouped: true}
+// New creates an empty log on vol.  base is the LSN epoch base the
+// store header records (0 for a fresh store); the first record gets
+// LSN base+1.
+func New(vol disk.Device, base uint64) *Log {
+	return &Log{vol: vol, ps: vol.PageSize(), base: base, grouped: true}
+}
+
+// Base returns the current epoch base: every record in the log has
+// LSN > Base(), and every record of earlier epochs had LSN <= Base().
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
 }
 
 // SetGroupCommit enables (the default) or disables the buffered tail
@@ -260,7 +278,7 @@ func decode(buf []byte) (*Record, int, error) {
 func (l *Log) Append(r *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r.LSN = uint64(l.tail) + 1 // LSN 0 means "never logged"
+	r.LSN = l.base + uint64(l.tail) + 1 // LSN 0 means "never logged"
 	buf := encode(r)
 	if l.tail+int64(len(buf)) > int64(l.vol.NumPages())*int64(l.ps) {
 		return 0, ErrLogFull
@@ -313,7 +331,7 @@ func (l *Log) Force() error {
 // LSN actually succeeded; when the leader's I/O fails, each queued
 // follower retries as leader and surfaces its own error.
 func (l *Log) ForceLSN(lsn uint64) error {
-	return l.forceTo(int64(lsn))
+	return l.forceTo(int64(lsn - l.Base()))
 }
 
 // forceTo makes the log durable through byte offset target.  Because
@@ -404,7 +422,11 @@ func (l *Log) Tail() int64 {
 
 // Scan reads every intact record from byte offset start, invoking fn in
 // order.  Scanning stops cleanly at the first torn or zero record — the
-// crash-truncated tail.  Buffered records are part of the log's logical
+// crash-truncated tail — and at the first record whose LSN does not
+// match the current epoch base (a leftover from before a truncation
+// whose zeroing write the crash swallowed; everything such a record
+// describes was durable before the truncation began, so skipping it is
+// exactly right).  Buffered records are part of the log's logical
 // contents, so Scan writes them out first (without forcing).
 func (l *Log) Scan(start int64, fn func(*Record) error) error {
 	l.forceMu.Lock()
@@ -413,6 +435,7 @@ func (l *Log) Scan(start int64, fn func(*Record) error) error {
 	if err != nil {
 		return err
 	}
+	base := l.Base()
 	total := int64(l.vol.NumPages()) * int64(l.ps)
 	off := start
 	for off+int64(recHeaderSize) <= total {
@@ -432,6 +455,9 @@ func (l *Log) Scan(start int64, fn func(*Record) error) error {
 		r, n, err := decode(buf)
 		if err != nil {
 			return nil // torn record: stop
+		}
+		if r.LSN != base+uint64(off)+1 {
+			return nil // stale epoch: record predates the last truncation
 		}
 		if err := fn(r); err != nil {
 			return err
@@ -456,10 +482,11 @@ func (l *Log) readAt(off int64, buf []byte) error {
 }
 
 // Recover reattaches a log after a crash: it scans from byte 0 to find
-// the durable tail and positions appends there.  It returns the records
-// found.
-func Recover(vol disk.Device) (*Log, []*Record, error) {
-	l := New(vol)
+// the durable tail and positions appends there.  base is the epoch base
+// the store header recorded; records whose LSNs belong to an earlier
+// epoch are ignored.  It returns the records found.
+func Recover(vol disk.Device, base uint64) (*Log, []*Record, error) {
+	l := New(vol, base)
 	var recs []*Record
 	if err := l.Scan(0, func(r *Record) error {
 		recs = append(recs, r)
@@ -473,7 +500,7 @@ func Recover(vol disk.Device) (*Log, []*Record, error) {
 	if n := len(recs); n > 0 {
 		last := recs[n-1]
 		// Tail = last record's end offset.
-		l.tail = int64(last.LSN-1) +
+		l.tail = int64(last.LSN-base-1) +
 			int64(recHeaderSize+len(last.Data)+len(last.OldData)+len(last.Extents)*extentEncBytes)
 	}
 	l.forced = l.tail
@@ -483,14 +510,23 @@ func Recover(vol disk.Device) (*Log, []*Record, error) {
 }
 
 // Reset truncates the log (after a checkpoint has made everything it
-// describes durable).  The whole log volume is zeroed so that stale
-// records from before the checkpoint can never be mistaken for live ones
-// by a later recovery scan.
-func (l *Log) Reset() error {
+// describes — including the new epoch base in the store header — fully
+// durable) and starts a new LSN epoch at newBase, which must be at
+// least Base()+Tail() so the new epoch's LSNs outrank every record the
+// old epoch issued.  The whole log volume is zeroed so that stale
+// records from before the checkpoint can never be mistaken for live
+// ones by a later recovery scan; should the zeroing itself be lost in
+// a crash, the old records' LSNs no longer match the header's base and
+// the recovery scan rejects them.
+func (l *Log) Reset(newBase uint64) error {
 	l.forceMu.Lock()
 	defer l.forceMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if newBase < l.base+uint64(l.tail) {
+		return fmt.Errorf("wal: reset base %d would rewind LSNs (epoch end %d)",
+			newBase, l.base+uint64(l.tail))
+	}
 	zero := make([]byte, int64(l.vol.NumPages())*int64(l.ps))
 	if err := l.vol.WritePages(0, int(l.vol.NumPages()), zero); err != nil {
 		return err
@@ -498,6 +534,7 @@ func (l *Log) Reset() error {
 	if err := l.vol.Force(0, int(l.vol.NumPages())); err != nil {
 		return err
 	}
+	l.base = newBase
 	l.tail = 0
 	l.forced = 0
 	l.buf = l.buf[:0]

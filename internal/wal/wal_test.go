@@ -11,7 +11,7 @@ import (
 func newLog(t testing.TB, pages disk.PageNum) (*Log, *disk.Volume) {
 	t.Helper()
 	vol := disk.MustNewVolume(256, pages, disk.CostModel{})
-	return New(vol), vol
+	return New(vol, 0), vol
 }
 
 func TestAppendScanRoundTrip(t *testing.T) {
@@ -72,7 +72,7 @@ func TestCrashDropsUnforcedRecords(t *testing.T) {
 	// The commit record was never forced.
 	vol.Crash()
 
-	l2, recs, err := Recover(vol)
+	l2, recs, err := Recover(vol, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestMultiPageRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	vol.Crash()
-	_, recs, err := Recover(vol)
+	_, recs, err := Recover(vol, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +139,15 @@ func TestResetClearsEverything(t *testing.T) {
 	if err := l.Force(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Reset(); err != nil {
+	newBase := l.Base() + uint64(l.Tail())
+	if err := l.Reset(newBase); err != nil {
 		t.Fatal(err)
 	}
 	if l.Tail() != 0 {
 		t.Errorf("tail = %d after reset", l.Tail())
+	}
+	if l.Base() != newBase {
+		t.Errorf("base = %d after reset, want %d", l.Base(), newBase)
 	}
 	// A single new record, then crash: recovery must see exactly one —
 	// no phantom pre-reset records.
@@ -154,7 +158,7 @@ func TestResetClearsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	vol.Crash()
-	_, recs, err := Recover(vol)
+	_, recs, err := Recover(vol, newBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +250,7 @@ func TestConcurrentAppends(t *testing.T) {
 
 func BenchmarkAppendRecord(b *testing.B) {
 	vol := disk.MustNewVolume(4096, 1<<16, disk.CostModel{})
-	l := New(vol)
+	l := New(vol, 0)
 	payload := make([]byte, 1024)
 	b.SetBytes(1024)
 	b.ResetTimer()
@@ -254,7 +258,7 @@ func BenchmarkAppendRecord(b *testing.B) {
 		if _, err := l.Append(&Record{Txn: 1, Type: RecInsert, Off: int64(i), Data: payload}); err != nil {
 			if errors.Is(err, ErrLogFull) {
 				b.StopTimer()
-				if err := l.Reset(); err != nil {
+				if err := l.Reset(l.Base() + uint64(l.Tail())); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -267,13 +271,13 @@ func BenchmarkAppendRecord(b *testing.B) {
 
 func BenchmarkForce(b *testing.B) {
 	vol := disk.MustNewVolume(4096, 1<<16, disk.CostModel{})
-	l := New(vol)
+	l := New(vol, 0)
 	payload := make([]byte, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := l.Append(&Record{Txn: 1, Type: RecCommit, Data: payload}); err != nil {
 			b.StopTimer()
-			if err := l.Reset(); err != nil {
+			if err := l.Reset(l.Base() + uint64(l.Tail())); err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
@@ -364,7 +368,7 @@ func TestSerialModeAppendsWriteThrough(t *testing.T) {
 func TestGroupCommitPiggyback(t *testing.T) {
 	vol := disk.MustNewVolume(256, 1024,
 		disk.CostModel{SeekMicros: 80, TransferMicrosPerPage: 5})
-	l := New(vol)
+	l := New(vol, 0)
 	vol.SetLatency(true, 1) // serialize device access like a single 1992 disk
 	defer vol.SetLatency(false, 0)
 
@@ -438,7 +442,7 @@ func TestForcedPrefixSurvivesCrash(t *testing.T) {
 	vol.ClearFault()
 	vol.Crash()
 
-	rl, recs, err := Recover(vol)
+	rl, recs, err := Recover(vol, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -138,7 +138,7 @@ func BenchmarkRealIODispatch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			if err := disk.FirstError(batch.Wait()); err != nil {
+			if _, err := batch.Wait(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -41,12 +41,14 @@ import (
 //  4. REDO pass: re-execute, in log order, each committed operation the
 //     catalog state has not seen — the LSN each object root carries
 //     makes this idempotent, exactly as the paper requires.  (LSNs are
-//     log offsets; a checkpoint that truncates the log zeroes the stored
-//     LSNs so the guard compares correctly across epochs.)
+//     monotonic across log truncations: each epoch's records start at
+//     the base the store header records, so a root's LSN always ranks
+//     correctly against every record of every epoch and is never
+//     zeroed.)
 //  5. Take a checkpoint and truncate the log.
 
 func (s *Store) recover() error {
-	log, recs, err := wal.Recover(s.logVol)
+	log, recs, err := wal.Recover(s.logVol, s.lsnBase)
 	if err != nil {
 		return err
 	}
@@ -82,9 +84,10 @@ func (s *Store) recover() error {
 	// bytes to put back.  (The extents are still accurate: an in-flight
 	// transaction never released its locks or applied its deferred
 	// frees, so its pages cannot have been restructured or reused.
-	// Ended transactions never need this: a commit or abort forces its
-	// own writes — compensated, for aborts — before its pages become
-	// reusable.)
+	// Ended transactions never need this: a commit's replaces are
+	// re-applied by redo if lost, and an abort writes its record only
+	// AFTER its compensations are durably forced — an abort record in
+	// the log proves the rollback is fully on disk.)
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
 		if r.Type != wal.RecReplace || ended[r.Txn] {
@@ -174,6 +177,7 @@ func (s *Store) redo(r *wal.Record) error {
 		}
 		s.mu.Unlock()
 		e.obj.SetLSN(r.LSN)
+		e.setStableDesc(e.obj.EncodeDescriptor())
 		return nil
 	case wal.RecDestroy:
 		if e == nil {
@@ -211,6 +215,11 @@ func (s *Store) redo(r *wal.Record) error {
 			return err
 		}
 		e.obj.SetLSN(r.LSN)
+		// The re-executed operation is committed state: the checkpoint
+		// that ends recovery persists stableDesc, so it must carry the
+		// post-redo root or the redone update would be lost when the
+		// log truncates.
+		e.setStableDesc(e.obj.EncodeDescriptor())
 		return nil
 	}
 	return nil // control records
@@ -219,8 +228,15 @@ func (s *Store) redo(r *wal.Record) error {
 // rebuildFreeSpace reformats every buddy space and reserves the pages
 // reachable from the catalog.
 func (s *Store) rebuildFreeSpace() error {
+	// The directories are rebuilt from catalog reachability alone, so
+	// any quarantined runs (only possible if recovery ever becomes
+	// callable on a live store) are subsumed: unreachable pages come
+	// back as free space directly.
+	s.quarMu.Lock()
+	s.quar = nil
+	s.quarMu.Unlock()
 	bm := buddy.NewManager(s.pool, !s.opts.DisableSuperdirectory)
-	page := disk.PageNum(1 + s.opts.CatalogPages)
+	page := disk.PageNum(1 + catalogRegionPages(s.opts))
 	for i := 0; i < s.opts.NumSpaces; i++ {
 		sp, err := buddy.FormatSpace(s.pool, page, page+1, s.opts.SpaceCapacity, s.vol)
 		if err != nil {
@@ -250,6 +266,7 @@ func (s *Store) rebuildFreeSpace() error {
 			return err
 		}
 		e.obj = obj
+		e.setStableDesc(desc)
 		runs, err := obj.ReachablePages()
 		if err != nil {
 			return err

@@ -85,3 +85,160 @@ func TestRecoverySurvivesRepeatedCrashes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointCrashBetweenDataForceAndLogReset crashes in a
+// checkpoint's window between the data-volume barrier and the log
+// Reset: the durable catalog already reflects the checkpoint while the
+// old log — commit records included — is still intact.  Recovery then
+// replays those commits a second time; the LSN each object root carries
+// must make that replay a no-op rather than a double apply.
+func TestCheckpointCrashBetweenDataForceAndLogReset(t *testing.T) {
+	vol := newTestDevice(t, 512, 4096)
+	logVol := newTestDevice(t, 512, 1024)
+	s, err := Format(vol, logVol, Options{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := s.Create("x", 0)
+	base := pat(70, 5000)
+	if err := o.Append(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// One committed (forced) append the old log still describes.
+	tx, _ := s.Begin()
+	extra := pat(71, 1000)
+	if err := tx.Append("x", extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	model := append(append([]byte{}, base...), extra...)
+
+	// Checkpoint, but fail the log volume before Reset can clear it:
+	// the data side of the checkpoint completes, the log keeps its
+	// records.
+	boom := errors.New("boom")
+	logVol.FailAfter(0, boom)
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint unexpectedly survived the log fault")
+	}
+	logVol.ClearFault()
+
+	if err := vol.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := logVol.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(vol, logVol, Options{Threshold: 4})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	o2, err := s2.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o2.Read(0, o2.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatalf("recovered %d bytes, want %d (committed append redone twice?)", len(got), len(model))
+	}
+	if err := s2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortRecordWrittenAfterCompensations pins the ordering inside
+// Abort: the abort record may reach the log only AFTER the compensating
+// writes are durably forced.  Recovery trusts an abort record as proof
+// the rollback is fully on disk and skips the undo pass for that
+// transaction — so if the record were forced first and the crash landed
+// between record and compensation, the loser's in-place replace would
+// leak into the recovered state (found by the crash-state sweep).
+//
+// The test makes the uncommitted post-image durable (modeling the drive
+// draining its cache), then crashes Abort at every possible data-volume
+// fault depth.  With the record-first ordering, depths that land after
+// the logical undo but before the compensation force leave a durable
+// abort record alongside a durable post-image — recovery then skips the
+// undo pass and the aborted replace survives.
+func TestAbortRecordWrittenAfterCompensations(t *testing.T) {
+	for depth := int64(0); ; depth++ {
+		vol := newTestDevice(t, 512, 4096)
+		logVol := newTestDevice(t, 512, 1024)
+		s, err := Format(vol, logVol, Options{Threshold: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := s.Create("x", 0)
+		committed := pat(70, 5000)
+		if err := o.Append(committed); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+
+		// In-flight replace: the WAL record goes ahead of the in-place
+		// write, the post-image lives dirty in the buffer pool.
+		tx, _ := s.Begin()
+		if err := tx.Replace("x", 100, pat(99, 700)); err != nil {
+			t.Fatal(err)
+		}
+		// A checkpoint flushes the loser's in-place page to the device
+		// without forcing it (live-transaction pages are excluded from
+		// the barrier); a direct ForceAll then models the drive draining
+		// its cache on its own, making the uncommitted post-image
+		// durable.
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := vol.ForceAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		boom := errors.New("boom")
+		vol.FailAfter(depth, boom)
+		aerr := tx.Abort()
+		vol.ClearFault()
+		if aerr == nil {
+			// The fault budget outlasted the whole abort; every crash
+			// depth inside it has been covered.
+			if depth == 0 {
+				t.Fatal("abort performed no data-volume I/O; fault depths never bit")
+			}
+			return
+		}
+
+		if err := vol.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if err := logVol.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(vol, logVol, Options{Threshold: 4})
+		if err != nil {
+			t.Fatalf("depth %d: recovery: %v", depth, err)
+		}
+		o2, err := s2.Open("x")
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		got, err := o2.Read(0, o2.Size())
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if !bytes.Equal(got, committed) {
+			t.Fatalf("depth %d: aborted transaction's replace leaked into the recovered state", depth)
+		}
+		if err := s2.Check(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+}

@@ -97,6 +97,12 @@ func TestStoreBasicLifecycle(t *testing.T) {
 	if err := s.Destroy("movie"); err != nil {
 		t.Fatal(err)
 	}
+	// Freed runs sit in the durability quarantine until a catalog
+	// barrier durably stops referencing them; a quiescent checkpoint
+	// drains the pipeline.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	after, _ := s.FreePages()
 	if after <= base {
 		t.Errorf("destroy freed nothing: %d -> %d", base, after)
@@ -305,6 +311,12 @@ func TestTxnAbortRestoresContent(t *testing.T) {
 	if err := o.Append(base); err != nil {
 		t.Fatal(err)
 	}
+	// Drain the retire -> quarantine pipeline before taking the
+	// baseline, so both sides of the conservation comparison count a
+	// fully settled free space.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	freeBefore, _ := s.FreePages()
 	usageBefore, _ := o.Usage()
 
@@ -335,7 +347,12 @@ func TestTxnAbortRestoresContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Page conservation: free + reachable is preserved (layout may
-	// differ, so compare totals).
+	// differ, so compare totals).  A checkpoint first: the abort's
+	// freed shadow pages ride the retire -> quarantine pipeline and
+	// only rejoin the free space at the next catalog barrier.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	usageAfter, _ := o.Usage()
 	freeAfter, _ := s.FreePages()
 	before := freeBefore + usageBefore.SegmentPages + usageBefore.IndexPages
@@ -395,6 +412,10 @@ func TestTxnCreateAbortRemovesObject(t *testing.T) {
 	}
 	if _, err := s.Open("temp"); !errors.Is(err, ErrNotFound) {
 		t.Error("aborted create left the object")
+	}
+	// Drain the retire -> quarantine pipeline before comparing.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
 	}
 	after, _ := s.FreePages()
 	if after != free {

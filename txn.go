@@ -457,6 +457,16 @@ func (t *Txn) Replace(name string, off int64, data []byte) error {
 		e.latch.RUnlock()
 		return err
 	}
+	// WAL rule: the pre-image record must be durable BEFORE the in-place
+	// write below reaches the device (data pages are write-through, so
+	// the overwrite happens inside obj.Replace, not at some later
+	// flush).  Skipping this force opens a crash window in which the old
+	// bytes are gone from the disk but the log record that could restore
+	// them is still sitting in the volatile tail buffer.
+	if err := t.s.log.ForceLSN(lsn); err != nil {
+		e.latch.RUnlock()
+		return err
+	}
 	err = e.obj.Replace(off, data)
 	e.latch.RUnlock()
 	if err != nil {
@@ -539,6 +549,15 @@ func (t *Txn) commit(force bool) error {
 		if to.entry.txnDirty == t.id {
 			to.entry.txnDirty = 0
 			to.entry.obj.Rebind(t.s.lm)
+			// Refresh the fallback descriptor NOW: a catalog barrier
+			// that runs while the next transaction holds this object
+			// dirty persists stableDesc, and the durability quarantine
+			// reasons that any barrier started after a commit writes
+			// roots at least as new as that commit.  Leaving the
+			// pre-commit image here would break that — a freed run
+			// could be released while the durable catalog still held a
+			// root that references it.
+			to.entry.setStableDesc(to.entry.obj.EncodeDescriptor())
 		}
 	}
 	t.s.mu.Unlock()
@@ -586,18 +605,14 @@ func (t *Txn) publishTouched() {
 	}
 }
 
-// forceDurableLocked writes the catalog and forces the volume, skipping
-// pages other live transactions have written in place (minus any t also
-// wrote).  Every force is accompanied by a catalog write, so durable
-// page content and the durable catalog always describe the same state.
-// Caller holds s.mu; t may be nil (checkpoint-style force).
+// forceDurableLocked makes the committed state durable in two barriers,
+// skipping pages other live transactions have written in place (minus
+// any t also wrote).  The order is load-bearing: the data barrier
+// (index and data pages) completes BEFORE the catalog that references
+// those pages is written, so no crash state can hold a durable catalog
+// root pointing at a page the device never received.  Caller holds
+// s.mu; t may be nil (checkpoint-style force).
 func (s *Store) forceDurableLocked(t *Txn) error {
-	if err := s.writeHeader(); err != nil {
-		return err
-	}
-	if err := s.writeCatalog(); err != nil {
-		return err
-	}
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -614,17 +629,41 @@ func (s *Store) forceDurableLocked(t *Txn) error {
 		}
 		t.wmu.Unlock()
 	}
-	return s.vol.ForceAllExcept(skip)
+	if err := s.vol.ForceAllExcept(skip); err != nil {
+		return err
+	}
+	// Catalog barrier: header and catalog slot, written only now that
+	// everything they reference is durable.  A torn slot write is
+	// caught by the slot CRC and recovery falls back to the previous
+	// slot, whose pages the durability quarantine keeps intact.
+	barrier := s.barrierStarted.Add(1)
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.writeCatalog(); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.vol.Force(0, 1+catalogRegionPages(s.opts)); err != nil {
+		return err
+	}
+	s.barrierDurable.Store(barrier)
+	return s.releaseQuarantined()
 }
 
 // Abort rolls the transaction back: operations are undone logically in
 // reverse order (delete undoes insert, re-insertion undoes delete, the
 // logged pre-image undoes replace, truncation undoes append, the
 // descriptor snapshot resurrects a destroyed object), surviving deferred
-// frees are applied, and locks are released.
+// frees are applied, and locks are released.  The abort record reaches
+// the log only after the compensations and catalog are durable, so an
+// "ended" classification at recovery always means the rollback is fully
+// on disk.
 //
 // pre-image the forward operation already logged, and the abort record
-// is forced before any freed page becomes reusable, so write-ahead
+// is forced only after the rollback is durable, so write-ahead
 // coverage is provided by the forward records.
 //
 //eoslint:ignore walfirst -- logical undo: every compensation replays a
@@ -672,13 +711,6 @@ func (t *Txn) Abort() error {
 			return fmt.Errorf("eos: abort undo failed: %w", err)
 		}
 	}
-	rec := &wal.Record{Txn: t.id, Type: wal.RecAbort}
-	if _, err := t.s.log.Append(rec); err != nil {
-		return err
-	}
-	if err := t.s.log.ForceLSN(rec.LSN); err != nil {
-		return err
-	}
 	t.s.mu.Lock()
 	for _, to := range t.touched {
 		if to.entry.txnDirty == t.id {
@@ -686,6 +718,11 @@ func (t *Txn) Abort() error {
 			to.entry.obj.Rebind(t.s.lm)
 		}
 		to.entry.obj.SetLSN(to.prevLSN)
+		// The compensations may have rebuilt the tree into a different
+		// (logically equal) shape whose old nodes are now retired, so
+		// the restored root — not the pre-transaction stableDesc image
+		// — must be what the next catalog barrier persists.
+		to.entry.setStableDesc(to.entry.obj.EncodeDescriptor())
 	}
 	t.s.mu.Unlock()
 	// The logical undos rebuilt the touched trees out of fresh pages, so
@@ -704,6 +741,24 @@ func (t *Txn) Abort() error {
 	// describes them.  So an abort forces exactly like a durable commit.
 	err := t.s.forceDurableLocked(t)
 	t.s.mu.Unlock()
+	// The abort record is written only AFTER the compensations and the
+	// catalog are durable.  Order is load-bearing: recovery does not
+	// undo an ended transaction's replaces, so if the abort record
+	// could become durable while a compensation write was still
+	// volatile, a crash in between would leave the forward replace's
+	// post-image in the recovered state with nothing to erase it.
+	// Written this late, a crash before the record classifies the
+	// transaction as in flight and the forward records' pre-images undo
+	// it (idempotently: extents whose compensation did reach the disk
+	// fail the post-image check and are left alone).
+	if err == nil {
+		rec := &wal.Record{Txn: t.id, Type: wal.RecAbort}
+		if _, aerr := t.s.log.Append(rec); aerr != nil {
+			err = aerr
+		} else if ferr := t.s.log.ForceLSN(rec.LSN); ferr != nil {
+			err = ferr
+		}
+	}
 	t.s.locks.ReleaseAll(t.id)
 	if rerr := t.s.epochs.Reclaim(); err == nil {
 		err = rerr
