@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint eoslint lint-ssa bench
+.PHONY: build test race lint eoslint lint-ssa lint-fixtures bench
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full static analysis: eoslint plus golangci-lint and govulncheck
-# when installed (scripts/lint.sh skips missing external tools).
+# Full static analysis: eoslint (per-package and -ssa whole-program
+# suites), a go vet self-check over the linter's own packages, plus
+# golangci-lint and govulncheck when installed (scripts/lint.sh skips
+# missing external tools).
 lint:
 	scripts/lint.sh
 
@@ -20,9 +22,14 @@ lint:
 eoslint:
 	scripts/lint.sh eoslint
 
-# Just the whole-program passes (deadlock, walfirstip, leaksip).
+# Just the whole-program passes (deadlock, walfirstip, leaksip,
+# forcedom, racecheck).
 lint-ssa:
 	scripts/lint.sh --ssa
+
+# Smoke-check that every bad fixture still trips its analyzer.
+lint-fixtures:
+	scripts/lint.sh --fixtures
 
 bench:
 	scripts/bench_regress.sh

@@ -46,6 +46,8 @@ func (s *Store) catSlotStart(k int) disk.PageNum {
 
 // writeCatalog serializes every descriptor into the next catalog slot.
 // Caller holds s.mu.
+//
+// eos:requires s.mu
 func (s *Store) writeCatalog() error {
 	names := make([]string, 0, len(s.catalog))
 	for n := range s.catalog {

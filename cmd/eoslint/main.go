@@ -1,7 +1,8 @@
 // Command eoslint runs the storage engine's custom static analyzers
 // (pairs, lockorder, atomicfield, walfirst, errwrap, useafterunpin,
-// guardedby, the whole-program passes deadlock, walfirstip and
-// leaksip, and the unusedignore audit) over Go packages.
+// guardedby, the whole-program passes deadlock, walfirstip, leaksip,
+// forcedom and racecheck, and the unusedignore audit) over Go
+// packages.
 //
 // Usage:
 //
@@ -31,10 +32,10 @@
 // present, as with -json.
 //
 // With -ssa, only the SSA-based whole-program passes (deadlock,
-// walfirstip, leaksip) report: the flag forwards the corresponding
-// analyzer-selection flags to go vet.  Useful for iterating on the
-// interprocedural suite without the noise (or cost) of re-verifying
-// the intraprocedural invariants.
+// walfirstip, leaksip, forcedom, racecheck) report: the flag forwards
+// the corresponding analyzer-selection flags to go vet.  Useful for
+// iterating on the interprocedural suite without the noise (or cost)
+// of re-verifying the intraprocedural invariants.
 package main
 
 import (
@@ -87,7 +88,7 @@ func main() {
 	if ssaOnly {
 		// Analyzer-selection flags: with any set, only the named
 		// analyzers report (their prerequisites still run for facts).
-		args = append(args, "-deadlock", "-walfirstip", "-leaksip")
+		args = append(args, "-deadlock", "-walfirstip", "-leaksip", "-forcedom", "-racecheck")
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)

@@ -24,6 +24,17 @@ type diag struct {
 	Line     int
 	Column   int
 	Message  string
+	Related  []related
+}
+
+// related is a secondary position attached to a diagnostic — for
+// forcedom, the failed dominating-force candidate; for racecheck, the
+// lockset-disjoint conflicting access.
+type related struct {
+	File    string
+	Line    int
+	Column  int
+	Message string
 }
 
 // collectDiagnostics parses a `go vet -json` stream (interleaved
@@ -38,9 +49,14 @@ func collectDiagnostics(stream []byte) []diag {
 		clean = append(clean, line...)
 		clean = append(clean, '\n')
 	}
-	type vetDiag struct {
+	type vetRelated struct {
 		Posn    string `json:"posn"`
 		Message string `json:"message"`
+	}
+	type vetDiag struct {
+		Posn    string       `json:"posn"`
+		Message string       `json:"message"`
+		Related []vetRelated `json:"related"`
 	}
 	var diags []diag
 	dec := json.NewDecoder(bytes.NewReader(clean))
@@ -53,12 +69,20 @@ func collectDiagnostics(stream []byte) []diag {
 			for analyzer, list := range byAnalyzer {
 				for _, d := range list {
 					file, line, col := splitPosn(d.Posn)
+					var rel []related
+					for _, r := range d.Related {
+						rf, rl, rc := splitPosn(r.Posn)
+						rel = append(rel, related{
+							File: rf, Line: rl, Column: rc, Message: r.Message,
+						})
+					}
 					diags = append(diags, diag{
 						Analyzer: analyzer,
 						File:     file,
 						Line:     line,
 						Column:   col,
 						Message:  d.Message,
+						Related:  rel,
 					})
 				}
 			}
@@ -138,10 +162,12 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifText       `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	Related   []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	Physical sarifPhysical `json:"physicalLocation"`
+	Message  *sarifText    `json:"message,omitempty"`
 }
 
 type sarifPhysical struct {
@@ -179,7 +205,7 @@ func writeSARIF(w io.Writer, diags []diag) error {
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
-		results = append(results, sarifResult{
+		res := sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "warning",
 			Message: sarifText{Text: d.Message},
@@ -195,7 +221,24 @@ func writeSARIF(w io.Writer, diags []diag) error {
 					},
 				},
 			}},
-		})
+		}
+		for _, r := range d.Related {
+			msg := sarifText{Text: r.Message}
+			res.Related = append(res.Related, sarifLocation{
+				Physical: sarifPhysical{
+					Artifact: sarifArtifact{
+						URI:       relativeURI(r.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   r.Line,
+						StartColumn: r.Column,
+					},
+				},
+				Message: &msg,
+			})
+		}
+		results = append(results, res)
 	}
 	log := sarifLog{
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",

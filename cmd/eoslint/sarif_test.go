@@ -30,12 +30,29 @@ const vetStream = `# github.com/eosdb/eos/internal/wal
 		]
 	}
 }
+# github.com/eosdb/eos/internal/eos
+{
+	"github.com/eosdb/eos/internal/eos": {
+		"forcedom": [
+			{
+				"posn": "/src/eos/internal/eos/txn.go:100:9",
+				"message": "in-place overwrite Object.Replace is not dominated by a WAL force of its pre-image record",
+				"related": [
+					{
+						"posn": "/src/eos/internal/eos/txn.go:90:12",
+						"message": "candidate WAL force of its pre-image record here does not dominate the overwrite"
+					}
+				]
+			}
+		]
+	}
+}
 `
 
 func TestCollectDiagnostics(t *testing.T) {
 	diags := collectDiagnostics([]byte(vetStream))
-	if len(diags) != 2 {
-		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
 	}
 	byAnalyzer := map[string]diag{}
 	for _, d := range diags {
@@ -53,6 +70,20 @@ func TestCollectDiagnostics(t *testing.T) {
 	}
 	if _, ok := byAnalyzer["leaksip"]; !ok {
 		t.Errorf("no leaksip diagnostic in %+v", diags)
+	}
+	fd, ok := byAnalyzer["forcedom"]
+	if !ok {
+		t.Fatalf("no forcedom diagnostic in %+v", diags)
+	}
+	if len(fd.Related) != 1 {
+		t.Fatalf("forcedom diagnostic has %d related positions, want 1", len(fd.Related))
+	}
+	r := fd.Related[0]
+	if r.File != "/src/eos/internal/eos/txn.go" || r.Line != 90 || r.Column != 12 {
+		t.Errorf("related posn parsed as %q:%d:%d", r.File, r.Line, r.Column)
+	}
+	if !strings.Contains(r.Message, "does not dominate") {
+		t.Errorf("related message = %q", r.Message)
 	}
 }
 
@@ -110,14 +141,15 @@ func TestWriteSARIF(t *testing.T) {
 			t.Errorf("rule %s shortDescription = %q", r.ID, r.ShortDesc.Text)
 		}
 	}
-	for _, want := range []string{"pairs", "lockorder", "deadlock", "walfirstip", "leaksip", "unusedignore"} {
+	for _, want := range []string{"pairs", "lockorder", "deadlock", "walfirstip", "leaksip", "forcedom", "racecheck", "unusedignore"} {
 		if !ruleIDs[want] {
 			t.Errorf("rule inventory missing %q (have %v)", want, ruleIDs)
 		}
 	}
-	if len(run.Results) != 2 {
-		t.Fatalf("got %d results, want 2", len(run.Results))
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
 	}
+	var sawRelated bool
 	for _, res := range run.Results {
 		if !ruleIDs[res.RuleID] {
 			t.Errorf("result ruleId %q not in rule inventory", res.RuleID)
@@ -132,5 +164,20 @@ func TestWriteSARIF(t *testing.T) {
 		if loc.Region.StartLine == 0 {
 			t.Errorf("missing startLine in %+v", loc)
 		}
+		for _, rel := range res.Related {
+			sawRelated = true
+			if rel.Physical.Artifact.URIBaseID != "%SRCROOT%" {
+				t.Errorf("related uriBaseId = %q", rel.Physical.Artifact.URIBaseID)
+			}
+			if rel.Physical.Region.StartLine != 90 || rel.Physical.Region.StartColumn != 12 {
+				t.Errorf("related region = %+v", rel.Physical.Region)
+			}
+			if rel.Message == nil || !strings.Contains(rel.Message.Text, "does not dominate") {
+				t.Errorf("related message = %+v", rel.Message)
+			}
+		}
+	}
+	if !sawRelated {
+		t.Errorf("no result carried relatedLocations")
 	}
 }

@@ -604,7 +604,10 @@ func (s *Store) BuddyManager() *buddy.Manager { return s.buddy }
 // LOBStats returns the large object manager's activity counters.
 func (s *Store) LOBStats() lob.Stats { return s.lm.Stats() }
 
-// writeHeader persists the store header on page 0.
+// writeHeader persists the store header on page 0.  Callers hold s.mu
+// — except Format, whose store has not been published yet.
+//
+// eos:requires s.mu
 func (s *Store) writeHeader() error {
 	img, err := s.pool.FixNew(0)
 	if err != nil {
@@ -726,9 +729,9 @@ func (s *Store) attachDispatcher() {
 // discard.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	if len(s.liveTxns) > 0 {
+	if n := len(s.liveTxns); n > 0 {
 		s.mu.Unlock()
-		return fmt.Errorf("eos: %d transactions still live", len(s.liveTxns))
+		return fmt.Errorf("eos: %d transactions still live", n)
 	}
 	s.mu.Unlock()
 	if n := s.epochs.Pinned(); n > 0 {
@@ -862,6 +865,7 @@ func (s *Store) Checkpoint() error {
 	return s.checkpointLocked()
 }
 
+// eos:requires s.mu
 func (s *Store) checkpointLocked() error {
 	// Reclaim every retired page no snapshot still pins before the flush
 	// below, so the checkpointed free-space directories account for them.

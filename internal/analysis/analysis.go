@@ -4,9 +4,10 @@
 // order, guarded-field locking, pin lifetimes, atomics discipline,
 // the §4.5 write-ahead rule, and error wrapping), their whole-program
 // extensions built on the internal ssa facility (deadlock, walfirstip,
-// leaksip — interprocedural latch-lattice verification, cross-function
-// write-ahead dominance, and context-sensitive resource-leak
-// propagation), plus the audit that keeps the //eoslint:ignore
+// leaksip, forcedom, racecheck — interprocedural latch-lattice
+// verification, cross-function write-ahead dominance, context-sensitive
+// resource-leak propagation, §8.1 force-ordering dominance, and the
+// Eraser lockset rule), plus the audit that keeps the //eoslint:ignore
 // exception inventory honest.
 //
 // The suite runs under `go vet` via cmd/eoslint and in CI via
@@ -20,10 +21,12 @@ import (
 	"github.com/eosdb/eos/internal/analysis/atomicfield"
 	"github.com/eosdb/eos/internal/analysis/deadlock"
 	"github.com/eosdb/eos/internal/analysis/errwrap"
+	"github.com/eosdb/eos/internal/analysis/forcedom"
 	"github.com/eosdb/eos/internal/analysis/guardedby"
 	"github.com/eosdb/eos/internal/analysis/leaksip"
 	"github.com/eosdb/eos/internal/analysis/lockorder"
 	"github.com/eosdb/eos/internal/analysis/pairs"
+	"github.com/eosdb/eos/internal/analysis/racecheck"
 	"github.com/eosdb/eos/internal/analysis/unusedignore"
 	"github.com/eosdb/eos/internal/analysis/useafterunpin"
 	"github.com/eosdb/eos/internal/analysis/walfirst"
@@ -45,6 +48,8 @@ func Analyzers() []*goanalysis.Analyzer {
 		deadlock.Analyzer,
 		walfirstip.Analyzer,
 		leaksip.Analyzer,
+		forcedom.Analyzer,
+		racecheck.Analyzer,
 		unusedignore.Analyzer,
 	}
 }

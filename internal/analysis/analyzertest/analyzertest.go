@@ -62,6 +62,24 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// Count analyzes one fixture package with a and returns the number of
+// diagnostics, without checking want comments.  The fixture smoke test
+// uses it to assert that each bad fixture still produces findings — a
+// guard against a silently-neutered pass whose want comments were
+// edited away along with its detection logic.
+func Count(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) int {
+	t.Helper()
+	fp, err := newLoader(dir).load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", pkgPath, err)
+	}
+	diags, err := runAnalyzer(a, fp, make(map[*analysis.Analyzer]interface{}))
+	if err != nil {
+		t.Fatalf("running %s on %q: %v", a.Name, pkgPath, err)
+	}
+	return len(diags)
+}
+
 // fixturePkg is one loaded fixture package.
 type fixturePkg struct {
 	fset  *token.FileSet

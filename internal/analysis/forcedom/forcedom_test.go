@@ -1,0 +1,12 @@
+package forcedom_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/forcedom"
+)
+
+func TestForcedom(t *testing.T) {
+	analyzertest.Run(t, "../testdata", forcedom.Analyzer, "forcedom_bad", "forcedom_clean")
+}

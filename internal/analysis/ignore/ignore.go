@@ -20,6 +20,7 @@
 package ignore
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"reflect"
@@ -239,6 +240,35 @@ func (r *Reporter) Report(pos token.Pos, format string, args ...interface{}) {
 	d, ok := r.list.match(pos, r.pass.Analyzer.Name)
 	if !ok {
 		r.pass.Reportf(pos, format, args...)
+		return
+	}
+	if d.Reason == "" {
+		r.pass.Reportf(pos, "eoslint:ignore %s without a '-- reason' clause", r.pass.Analyzer.Name)
+	}
+}
+
+// Suppressed reports whether a justified directive covers a diagnostic
+// from this analyzer at pos, recording the use.  Whole-program
+// analyzers consult it at summary time: an exception justified at its
+// source should not propagate exposure to every caller.  A directive
+// with no reason does not suppress here — the missing-reason complaint
+// must still surface through Report.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	d, ok := r.list.match(pos, r.pass.Analyzer.Name)
+	return ok && d.Reason != ""
+}
+
+// ReportRelated is Report with secondary evidence positions attached
+// (surfaced by the drivers as JSON "related" entries and by cmd/eoslint
+// as SARIF relatedLocations).  Suppression works exactly as in Report.
+func (r *Reporter) ReportRelated(pos token.Pos, related []analysis.RelatedInformation, format string, args ...interface{}) {
+	d, ok := r.list.match(pos, r.pass.Analyzer.Name)
+	if !ok {
+		r.pass.Report(analysis.Diagnostic{
+			Pos:     pos,
+			Message: fmt.Sprintf(format, args...),
+			Related: related,
+		})
 		return
 	}
 	if d.Reason == "" {

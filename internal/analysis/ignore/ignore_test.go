@@ -99,6 +99,9 @@ func FuzzParse(f *testing.F) {
 		"//eoslint:ignore deadlock -- interprocedural pass name",
 		"//eoslint:ignore walfirstip,leaksip -- whole-program pair",
 		"//eoslint:ignore deadlock,walfirstip,leaksip -- full ssa suite",
+		"//eoslint:ignore forcedom -- crash-ordering dominance pass name",
+		"//eoslint:ignore racecheck -- lockset pass name",
+		"//eoslint:ignore forcedom,racecheck -- v4 whole-program pair",
 		"//eoslint:ignore leaksip -- writeNode only allocates when passed page 0",
 		"//eoslint:ignore all",
 		"//eoslint:ignore -- reason only",

@@ -1,0 +1,12 @@
+package racecheck_test
+
+import (
+	"testing"
+
+	"github.com/eosdb/eos/internal/analysis/analyzertest"
+	"github.com/eosdb/eos/internal/analysis/racecheck"
+)
+
+func TestRacecheck(t *testing.T) {
+	analyzertest.Run(t, "../testdata", racecheck.Analyzer, "racecheck_bad", "racecheck_clean")
+}

@@ -3,7 +3,9 @@
 // every function in the package — basic blocks lifted from the
 // toolchain-vendored go/cfg, a dominator tree per function, and a
 // classified instruction stream (ranked-latch acquire/release, WAL
-// appends, large-object mutations, resolved call sites) — plus a call
+// appends and forces, device forces and directory syncs, large-object
+// mutations, checkpoint meta writes, quarantine stamps, resolved call
+// sites) — plus a call
 // graph that resolves static calls directly and dynamic calls through
 // class-hierarchy analysis (CHA) over the package and its imports, and
 // a strongly-connected-component condensation in bottom-up (callees
@@ -30,6 +32,7 @@ package ssa
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"reflect"
 	"strings"
@@ -48,7 +51,7 @@ import (
 // nothing itself.
 var Analyzer = &analysis.Analyzer{
 	Name:       "eosssa",
-	Doc:        "build the pruned-SSA IR and call graph shared by the whole-program passes (internal prerequisite)\n\nNot a checker: it feeds basic blocks, dominators, and the CHA call graph to deadlock, walfirstip, and leaksip.",
+	Doc:        "build the pruned-SSA IR and call graph shared by the whole-program passes (internal prerequisite)\n\nNot a checker: it feeds basic blocks, dominators, and the CHA call graph to deadlock, walfirstip, leaksip, forcedom, and racecheck.",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
 	Run:        run,
 	ResultType: reflect.TypeOf((*Program)(nil)),
@@ -147,6 +150,40 @@ const (
 	KWALAppend
 	// KMutate calls a lob.Object mutator — a §4.5 mutation event.
 	KMutate
+
+	// Durability events (eoslint v4).  These are the vocabulary of the
+	// forcedom crash-consistency pass: each marks a point where state
+	// ordering against stable storage is established or consumed.
+
+	// KWALForce forces the write-ahead log ((*wal.Log).Force or
+	// ForceLSN): every record at or below the target LSN is durable
+	// afterwards.
+	KWALForce
+	// KDevForce forces volume pages (Force/ForceAll/ForceAllExcept on a
+	// disk Device, Volume, or FileVolume): the §8.1 data-before-metadata
+	// checkpoint barrier.
+	KDevForce
+	// KSyncDir fsyncs a directory (disk.SyncDir), making renamed or
+	// created entries durable.
+	KSyncDir
+	// KRename renames a file (os.Rename) — volatile until the owning
+	// directory is synced.
+	KRename
+	// KMetaWrite writes the store header or catalog region
+	// ((*Store).writeHeader / writeCatalog): the metadata half of the
+	// two-phase checkpoint barrier.
+	KMetaWrite
+	// KAbortRec constructs a wal.Record with Type RecAbort — the abort
+	// record that must not be appended before compensations are durable.
+	// Instr.Lit holds the literal; Call is nil.
+	KAbortRec
+	// KBuddyFree returns an extent to the buddy allocator
+	// ((*buddy.Manager).Free called from outside the allocator itself) —
+	// the reallocation event the durability quarantine gates.
+	KBuddyFree
+	// KBarrierStamp reads or publishes the quarantine barrier stamp
+	// (Load/Store on a field named barrierDurable).
+	KBarrierStamp
 )
 
 // Instr is one classified instruction, in source order within its
@@ -154,6 +191,9 @@ const (
 type Instr struct {
 	Kind Kind
 	Call *ast.CallExpr
+	// Lit is the composite literal of a KAbortRec instruction (the only
+	// kind not rooted at a call expression); nil otherwise.
+	Lit *ast.CompositeLit
 	// Deferred marks calls that run at function exit (defer f(),
 	// or any call inside an immediately-deferred function literal).
 	Deferred bool
@@ -172,8 +212,23 @@ type Instr struct {
 	Shared    bool
 	LockToken string
 
-	// KMutate: the "Object.Method" label for diagnostics.
+	// KMutate: the "Object.Method" label for diagnostics.  Also set for
+	// KMetaWrite ("Store.writeHeader") and KDevForce ("Volume.ForceAll")
+	// so the forcedom pass can name the event without re-resolving.
 	MutName string
+}
+
+// Pos returns the source position anchoring the instruction: the call
+// expression for call-rooted kinds, the composite literal for
+// KAbortRec.
+func (in *Instr) Pos() token.Pos {
+	if in.Call != nil {
+		return in.Call.Pos()
+	}
+	if in.Lit != nil {
+		return in.Lit.Pos()
+	}
+	return token.NoPos
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -257,9 +312,54 @@ func (pr *Program) scanNode(n ast.Node, deferred bool, out *[]Instr) {
 			// Arguments are scanned by the enclosing Inspect walk; only
 			// classify the call itself here.
 			pr.classify(m, deferred, out)
+		case *ast.CompositeLit:
+			// Abort-record literals are durability events even before
+			// they reach an Append call; elements are still walked.
+			pr.classifyLit(m, deferred, out)
 		}
 		return true
 	})
+}
+
+// classifyLit appends a KAbortRec instruction when lit constructs a
+// wal.Record whose Type field is RecAbort.  Matching is by package and
+// type name (fixtures fake package wal) and by the constant's name: the
+// engine has a single abort-record construction site, and the literal —
+// not the later Append — is the event the §8.1 abort-ordering rule
+// anchors on, so no value tracking is needed.
+func (pr *Program) classifyLit(lit *ast.CompositeLit, deferred bool, out *[]Instr) {
+	tv, ok := pr.Pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	if ownerTypeName(tv.Type) != "Record" {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "wal" {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Type" {
+			continue
+		}
+		name := ""
+		switch v := kv.Value.(type) {
+		case *ast.Ident:
+			name = v.Name
+		case *ast.SelectorExpr:
+			name = v.Sel.Name
+		}
+		if name == "RecAbort" {
+			*out = append(*out, Instr{Kind: KAbortRec, Lit: lit, Deferred: deferred})
+			return
+		}
+	}
 }
 
 // classify appends the instruction for one call expression.
@@ -291,7 +391,84 @@ func (pr *Program) classify(call *ast.CallExpr, deferred bool, out *[]Instr) {
 		*out = append(*out, in)
 		return
 	}
+	if kind, label, ok := pr.durabilityEvent(call); ok {
+		in.Kind = kind
+		in.MutName = label
+		*out = append(*out, in)
+		return
+	}
 	*out = append(*out, in)
+}
+
+// devForceTypes are the disk types whose Force methods establish the
+// data-durability half of the checkpoint barrier: the Device interface
+// and both of its backends.
+var devForceTypes = []string{"Device", "Volume", "FileVolume"}
+
+// durabilityEvent classifies the forcedom event vocabulary: log and
+// device forces, directory syncs, renames, header/catalog writes, and
+// quarantine-gated extent frees.  Matching follows the eosutil
+// convention (package name + type name) so fixture stand-ins work.
+func (pr *Program) durabilityEvent(call *ast.CallExpr) (Kind, string, bool) {
+	info := pr.Pass.TypesInfo
+	if m, ok := eosutil.IsMethodCall(info, call, "wal", "Log", "Force", "ForceLSN"); ok {
+		return KWALForce, "Log." + m, true
+	}
+	for _, tn := range devForceTypes {
+		if m, ok := eosutil.IsMethodCallAny(info, call, "disk", tn, "Force", "ForceAll", "ForceAllExcept"); ok {
+			return KDevForce, tn + "." + m, true
+		}
+	}
+	if isPkgNameFunc(info, call, "disk", "SyncDir") {
+		return KSyncDir, "disk.SyncDir", true
+	}
+	if eosutil.IsPkgFunc(info, call, "os", "Rename") {
+		return KRename, "os.Rename", true
+	}
+	if m, ok := eosutil.IsMethodCall(info, call, pr.Pass.Pkg.Name(), "Store", "writeHeader", "writeCatalog"); ok {
+		return KMetaWrite, "Store." + m, true
+	}
+	// Extent reallocation: only calls from outside the allocator itself
+	// are quarantine-gated events (the buddy package's own bookkeeping
+	// is below the §8.1 contract).
+	if pr.Pass.Pkg.Name() != "buddy" {
+		if _, ok := eosutil.IsMethodCall(info, call, "buddy", "Manager", "Free"); ok {
+			return KBuddyFree, "Manager.Free", true
+		}
+	}
+	if ok := isBarrierStamp(call); ok {
+		return KBarrierStamp, "barrierDurable", true
+	}
+	return 0, "", false
+}
+
+// isBarrierStamp matches Load/Store on a field named barrierDurable —
+// the atomic stamp the durability quarantine publishes after phase two
+// of a checkpoint and consults before reusing freed extents.
+func isBarrierStamp(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Load" && sel.Sel.Name != "Store" {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	return ok && field.Sel.Name == "barrierDurable"
+}
+
+// isPkgNameFunc matches a package-level function by package *name*
+// (unlike eosutil.IsPkgFunc, which wants the full import path) so
+// fixture stand-ins for engine packages match too.
+func isPkgNameFunc(info *types.Info, call *ast.CallExpr, pkgName, name string) bool {
+	fn := eosutil.Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Name() == pkgName
 }
 
 // lockEvent classifies call as Lock/RLock/Unlock/RUnlock on a ranked

@@ -102,6 +102,54 @@ func TestProgramIR(t *testing.T) {
 				t.Errorf("mutually recursive pingA/pingB are in different SCCs")
 			}
 
+			// Durability-event classification (eoslint v4): the
+			// durability fixture function holds exactly one instruction
+			// of each new kind, except the two meta writes.
+			dur := byName["durability"]
+			if dur == nil {
+				t.Fatalf("Program is missing func durability")
+			}
+			counts := make(map[ssa.Kind]int)
+			labels := make(map[ssa.Kind][]string)
+			for _, b := range dur.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					counts[in.Kind]++
+					labels[in.Kind] = append(labels[in.Kind], in.MutName)
+				}
+			}
+			want := map[ssa.Kind]int{
+				ssa.KWALForce:     2, // Force + ForceLSN
+				ssa.KDevForce:     2, // FileVolume.ForceAll + Device.Force
+				ssa.KSyncDir:      1,
+				ssa.KRename:       1,
+				ssa.KMetaWrite:    2, // writeHeader + writeCatalog
+				ssa.KBuddyFree:    1,
+				ssa.KBarrierStamp: 2, // Store + Load
+				ssa.KAbortRec:     1, // RecCommit literal stays unclassified
+				ssa.KWALAppend:    1,
+			}
+			for k, n := range want {
+				if counts[k] != n {
+					t.Errorf("durability: kind %d count = %d (labels %v), want %d",
+						k, counts[k], labels[k], n)
+				}
+			}
+			for _, lbl := range []string{"Log.Force", "Log.ForceLSN", "FileVolume.ForceAll",
+				"Device.Force", "Store.writeHeader", "Store.writeCatalog", "Manager.Free"} {
+				found := false
+				for _, ls := range labels {
+					for _, l := range ls {
+						if l == lbl {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Errorf("durability: no instruction labeled %q", lbl)
+				}
+			}
+
 			// CHA: the interface call resolves to the fixture's concrete
 			// implementation.
 			found := false

@@ -57,3 +57,24 @@ func CreateFileVolume(path string, pageSize int, pages PageNum, opts FileOptions
 func OpenFileVolume(path string, opts FileOptions) (*FileVolume, error) {
 	return &FileVolume{}, nil
 }
+
+// Force makes n pages starting at start durable.
+func (v *FileVolume) Force(start PageNum, n int) error { return nil }
+
+// ForceAll makes every written page durable.
+func (v *FileVolume) ForceAll() error { return nil }
+
+// ForceAllExcept makes every written page durable except those in skip.
+func (v *FileVolume) ForceAllExcept(skip map[PageNum]bool) error { return nil }
+
+// Device is the stand-in backend interface with the durability surface
+// forcedom matches on.
+type Device interface {
+	WritePages(start PageNum, n int, data []byte) error
+	Force(start PageNum, n int) error
+	ForceAll() error
+	ForceAllExcept(skip map[PageNum]bool) error
+}
+
+// SyncDir fsyncs a directory, making its entries durable.
+func SyncDir(dir string) error { return nil }

@@ -1,0 +1,58 @@
+// Package racecheck_bad seeds the Eraser lockset shape: shared fields
+// of mutex-bearing structs reached from a goroutine with no lock held
+// in common across their accesses.
+package racecheck_bad
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	hits int // racy: worker touches it without mu
+	safe int // guarded: every access holds mu
+}
+
+// Start is the concurrency root: it spawns the worker.
+func Start(c *counter) {
+	go c.worker()
+}
+
+func (c *counter) worker() {
+	c.hits++ // want "field counter.hits is accessed by 3 functions on a goroutine-reachable path with no common lock"
+	c.mu.Lock()
+	c.safe++
+	c.mu.Unlock()
+}
+
+// Snapshot holds the lock — but worker does not, so the intersection
+// over all of hits' accesses is empty.
+func (c *counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits + c.safe
+}
+
+// Reset also holds the lock; the one bare access in worker is enough.
+func (c *counter) Reset() {
+	c.mu.Lock()
+	c.hits = 0
+	c.mu.Unlock()
+}
+
+type queue struct {
+	mu    sync.Mutex
+	depth int
+}
+
+// Serve spawns an inline drain loop: the literal itself is the
+// concurrency root, and its bare write conflicts with Push.
+func Serve(q *queue) {
+	go func() {
+		q.depth-- // want "field queue.depth is accessed by 2 functions on a goroutine-reachable path with no common lock"
+	}()
+}
+
+func (q *queue) Push() {
+	q.mu.Lock()
+	q.depth++
+	q.mu.Unlock()
+}

@@ -23,11 +23,13 @@ import (
 	"github.com/eosdb/eos/internal/analysis/atomicfield"
 	"github.com/eosdb/eos/internal/analysis/deadlock"
 	"github.com/eosdb/eos/internal/analysis/errwrap"
+	"github.com/eosdb/eos/internal/analysis/forcedom"
 	"github.com/eosdb/eos/internal/analysis/guardedby"
 	"github.com/eosdb/eos/internal/analysis/ignore"
 	"github.com/eosdb/eos/internal/analysis/leaksip"
 	"github.com/eosdb/eos/internal/analysis/lockorder"
 	"github.com/eosdb/eos/internal/analysis/pairs"
+	"github.com/eosdb/eos/internal/analysis/racecheck"
 	"github.com/eosdb/eos/internal/analysis/useafterunpin"
 	"github.com/eosdb/eos/internal/analysis/walfirst"
 	"github.com/eosdb/eos/internal/analysis/walfirstip"
@@ -56,6 +58,8 @@ var Analyzer = &analysis.Analyzer{
 		deadlock.Analyzer,
 		walfirstip.Analyzer,
 		leaksip.Analyzer,
+		forcedom.Analyzer,
+		racecheck.Analyzer,
 	},
 	Run: run,
 }

@@ -205,6 +205,8 @@ func (p *Pool) Shards() int { return len(p.shards) }
 // nil restores synchronous write-back.  The caller owns d's lifetime
 // and must not Close it before the pool's last flush.  Not safe to
 // change concurrently with flushes — set it at store construction.
+//
+//eoslint:ignore racecheck -- construction-time setter by documented contract; no flush is in flight when disp changes
 func (p *Pool) SetDispatcher(d *disk.Dispatcher) { p.disp = d }
 
 // SetPinWait bounds how long a Fix blocks waiting for a transiently

@@ -4,7 +4,12 @@
 #   scripts/lint.sh            run every available linter
 #   scripts/lint.sh eoslint    run only the eoslint suite
 #   scripts/lint.sh --ssa      run only the whole-program passes
-#                              (deadlock, walfirstip, leaksip)
+#                              (deadlock, walfirstip, leaksip,
+#                              forcedom, racecheck)
+#   scripts/lint.sh --fixtures smoke-check the analyzers against their
+#                              bad fixtures: every pass must still
+#                              produce diagnostics there (guards
+#                              against a silently-neutered pass)
 #
 # eoslint (the repo's own go/analysis suite) always runs.  The external
 # tools — golangci-lint and govulncheck — run when installed and are
@@ -21,8 +26,14 @@ step() {
 }
 
 if [ "$only" = "--ssa" ] || [ "$only" = "ssa" ]; then
-    step "eoslint -ssa (interprocedural deadlock/WAL-dominance/leak passes)"
+    step "eoslint -ssa (deadlock/WAL-dominance/leak/force-ordering/lockset passes)"
     go run ./cmd/eoslint -ssa ./...
+    exit $?
+fi
+
+if [ "$only" = "--fixtures" ] || [ "$only" = "fixtures" ]; then
+    step "analyzer fixture smoke (every bad fixture must still trip its pass)"
+    go test -count=1 -run TestBadFixturesProduceDiagnostics ./internal/analysis/
     exit $?
 fi
 
@@ -33,6 +44,16 @@ fi
 
 if [ "$only" = "eoslint" ]; then
     exit "$failed"
+fi
+
+step "eoslint -ssa (deadlock/WAL-dominance/leak/force-ordering/lockset passes)"
+if ! go run ./cmd/eoslint -ssa ./...; then
+    failed=1
+fi
+
+step "go vet self-check (the linter codebase itself stays clean)"
+if ! go vet ./internal/analysis/... ./cmd/eoslint; then
+    failed=1
 fi
 
 if command -v golangci-lint >/dev/null 2>&1; then

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -524,6 +525,113 @@ func TestSnapshotRecoveryPublishes(t *testing.T) {
 	}
 	if !bytes.Equal(got, content) {
 		t.Fatal("recovered snapshot content diverged")
+	}
+}
+
+// TestSnapshotHeldAcrossFileCrashRecover is the regression test for
+// descriptor republish on recovery meeting epoch pins: a snapshot
+// opened on a file-backed store keeps reading its captured root even
+// after the volumes crash and a second Store recovers from them.  The
+// recovered store republishes every descriptor at the newest committed
+// version (here: one forced transactional append past the capture);
+// the old snapshot's pin is per-instance state and must keep serving
+// the capture, not the republished root.  Deterministic because the
+// captured root was live at the last checkpoint, so recovery's redo
+// allocations can never land on its pages.
+func TestSnapshotHeldAcrossFileCrashRecover(t *testing.T) {
+	dir := t.TempDir()
+	mkVol := func(name string, pages disk.PageNum) *disk.FileVolume {
+		fv, err := disk.CreateFileVolume(filepath.Join(dir, name), 512, pages,
+			disk.FileOptions{CrashShadow: true})
+		if err != nil {
+			t.Fatalf("CreateFileVolume: %v", err)
+		}
+		t.Cleanup(func() { _ = fv.Close() })
+		return fv
+	}
+	vol, logVol := mkVol("data.eos", 4096), mkVol("log.eos", 1024)
+	opts := Options{Threshold: 4}
+	s1, err := Format(vol, logVol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s1.Create("pinned", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := pat(4, 30000)
+	if err := o.Append(v1); err != nil {
+		t.Fatal(err)
+	}
+	// Make the capture durable, then capture it.
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := s1.OpenSnapshot("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	// A forced transactional tail moves the committed (and durable)
+	// state past the capture: recovery will republish v1+tail.
+	tail := pat(5, 7000)
+	tx, err := s1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Append("pinned", tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := vol.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := logVol.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(vol, logVol, opts)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+
+	// The held snapshot still reads exactly its captured root.
+	if sn.Size() != int64(len(v1)) {
+		t.Fatalf("snapshot size %d after recovery, want %d", sn.Size(), len(v1))
+	}
+	got := make([]byte, len(v1))
+	if _, err := sn.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("snapshot read after recovery: %v", err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Fatal("snapshot content diverged across crash/recover")
+	}
+
+	// The recovered store republished the newest committed version.
+	ro, err := s2.Open("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Size() != int64(len(v1)+len(tail)) {
+		t.Fatalf("recovered size %d, want %d", ro.Size(), len(v1)+len(tail))
+	}
+	rgot, err := ro.Read(0, ro.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rgot[:len(v1)], v1) || !bytes.Equal(rgot[len(v1):], tail) {
+		t.Fatal("recovered content diverged")
+	}
+	if err := sn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

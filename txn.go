@@ -612,6 +612,8 @@ func (t *Txn) publishTouched() {
 // those pages is written, so no crash state can hold a durable catalog
 // root pointing at a page the device never received.  Caller holds
 // s.mu; t may be nil (checkpoint-style force).
+//
+// eos:requires s.mu
 func (s *Store) forceDurableLocked(t *Txn) error {
 	if err := s.pool.FlushAll(); err != nil {
 		return err
@@ -684,6 +686,7 @@ func (t *Txn) Abort() error {
 		case wal.RecDelete:
 			err = o.Insert(op.off, op.old)
 		case wal.RecReplace:
+			//eoslint:ignore forcedom -- undo replays the pre-image the forward Replace already logged and forced; recovery re-runs the same idempotent compensation
 			err = o.Replace(op.off, op.old)
 		case wal.RecCreate:
 			err = o.Destroy()
@@ -700,6 +703,7 @@ func (t *Txn) Abort() error {
 			var obj *lob.Object
 			obj, err = t.lm.OpenDescriptor(op.snapshot)
 			if err == nil {
+				//eoslint:ignore racecheck -- the aborting txn still holds this object's exclusive lock-table lock, so no other txn can reach entry.obj; snapshot readers swap roots under epoch protection
 				op.entry.obj = obj
 				t.s.mu.Lock()
 				t.s.catalog[op.entry.name] = op.entry
